@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to the shrunk CI calibration (seconds per panel); set
+``REPRO_FULL=1`` to run at the paper's scales (minutes per panel).  Results
+are cached process-wide so pytest-benchmark's repeated invocations measure
+the harness without re-simulating, while the single genuine run drives the
+shape assertions.
+"""
+
+import pytest
+
+from repro.bench.runner import CACHE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def clear_experiment_cache_at_start():
+    CACHE.clear()
+    yield

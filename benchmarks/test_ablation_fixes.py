@@ -1,0 +1,60 @@
+"""ABLATION: each historical fix removes the symptom it targets.
+
+DESIGN.md section 5 ("lock granularity" and the complexity fixes): running
+every bug's *fixed* configuration at the symptom scale must eliminate (or
+drastically reduce) the flapping that the buggy configuration exhibits --
+the paper's section 2 narrative, verified end to end in the model.
+"""
+
+import pytest
+
+from repro.bench import calibrate
+from repro.bench.runner import run_point
+
+
+def symptom_scale():
+    return calibrate.figure3_scales()[-1]
+
+
+@pytest.mark.parametrize("bug_id", ["c3831", "c3881", "c5456"])
+def test_fix_removes_flapping(benchmark, bug_id):
+    top = symptom_scale()
+    buggy = benchmark.pedantic(
+        lambda: run_point(bug_id, top, "real"), rounds=1, iterations=1)
+    fixed = run_point(f"{bug_id}-fixed", top, "real")
+    assert buggy.flaps > 0, f"{bug_id} must flap at scale {top}"
+    assert fixed.flaps <= buggy.flaps // 10, (
+        f"{bug_id}-fixed still flaps: {fixed.flaps} vs {buggy.flaps}")
+
+
+def test_c5456_fix_shrinks_lock_hold_not_compute(benchmark):
+    """The 5456 fix does not make the calculation cheaper -- it clones the
+    ring table so the lock is released early.  Paper section 5: 'patches
+    of scalability bugs do not always remove the expensive computation'."""
+    top = symptom_scale()
+    buggy = benchmark.pedantic(
+        lambda: run_point("c5456", top, "real"), rounds=1, iterations=1)
+    fixed = run_point("c5456-fixed", top, "real")
+    buggy_demand = buggy.total_calc_demand()
+    fixed_demand = fixed.total_calc_demand()
+    # Compute demand is the same order either way...
+    assert fixed_demand > buggy_demand * 0.2
+    # ...but the lock hold collapses.
+    assert fixed.lock_max_hold < buggy.lock_max_hold / 10
+
+
+def test_fixes_report(benchmark, capsys):
+    top = symptom_scale()
+    rows = ["ABLATION: buggy vs fixed flap counts at the symptom scale",
+            f"{'bug':>8} {'buggy':>8} {'fixed':>8}"]
+
+    def build():
+        for bug_id in ("c3831", "c3881", "c5456"):
+            buggy = run_point(bug_id, top, "real")
+            fixed = run_point(f"{bug_id}-fixed", top, "real")
+            rows.append(f"{bug_id:>8} {buggy.flaps:>8d} {fixed.flaps:>8d}")
+        return "\n".join(rows)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)

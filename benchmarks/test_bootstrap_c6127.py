@@ -1,0 +1,86 @@
+"""X-C6127 -- sections 2 and 5: the branch-guarded fresh-bootstrap bug.
+
+CASSANDRA-6127: "if customers bootstrap a large cluster (e.g., 500+ nodes)
+from scratch ... the execution traverses a different code path that
+performs a fresh ring-table/key-range construction with O(M N^2)
+complexity."  The paper uses it as the poster child for *path-dependent*
+offending functions: only a bootstrap-from-scratch workload reaches the
+branch, which is why the finder reports guard conditions.
+
+Claims checked: the fresh path's calculator fires only on this workload;
+the buggy configuration flaps far more than the fixed one; and discovering
+the path requires the bootstrap workload (a scale-out never reaches it).
+"""
+
+import pytest
+
+from repro.bench.calibrate import ci_cost_constants
+from repro.cassandra import (
+    Cluster,
+    ClusterConfig,
+    Mode,
+    ScenarioParams,
+    run_bootstrap,
+    run_scale_out,
+)
+
+NODES = 24
+PARAMS = ScenarioParams(observe=110.0, join_duration=30.0,
+                        bootstrap_stagger=5.0, warmup=20.0,
+                        join_stagger=1.5)
+
+
+def run(bug_id: str, workload):
+    config = ClusterConfig.for_bug(
+        bug_id, nodes=NODES, mode=Mode.REAL, seed=42,
+        cost_constants=ci_cost_constants(bug_id))
+    return workload(Cluster(config), PARAMS)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        "buggy": run("c6127", run_bootstrap),
+        "fixed": run("c6127-fixed", run_bootstrap),
+        "scale_out": run("c6127", run_scale_out),
+    }
+
+
+def test_c6127_fresh_bootstrap_flaps(benchmark, reports):
+    result = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    assert result["buggy"].flaps > 50
+
+
+def test_c6127_fix_reduces_symptom(benchmark, reports):
+    result = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    assert result["buggy"].flaps >= 3 * max(result["fixed"].flaps, 1)
+
+
+def test_fresh_path_only_reached_by_bootstrap_workload(benchmark, reports):
+    """The section 5 observation: the O(M N^2) loop 'is only exercised if
+    the cluster bootstraps from scratch' -- a scale-out of the same buggy
+    build never executes the V3 calculator."""
+    result = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    boot_variants = {r.variant for r in result["buggy"].calc_records}
+    scaleout_variants = {r.variant for r in result["scale_out"].calc_records}
+    assert "v3-bootstrap-c6127" in boot_variants
+    assert "v3-bootstrap-c6127" not in scaleout_variants
+
+
+def test_c6127_report(benchmark, reports, capsys):
+    def render():
+        buggy, fixed = reports["buggy"], reports["fixed"]
+        b_low, b_high = buggy.calc_duration_range()
+        return "\n".join([
+            f"X-C6127: fresh bootstrap at N={NODES} (P=256 vnodes)",
+            f"{'variant':>8} {'flaps':>7} {'calcs':>7} {'demand range':>16}",
+            f"{'buggy':>8} {buggy.flaps:>7d} {len(buggy.calc_records):>7d} "
+            f"{b_low:7.3f}-{b_high:.3f}s",
+            f"{'fixed':>8} {fixed.flaps:>7d} {len(fixed.calc_records):>7d} "
+            f"{fixed.calc_duration_range()[0]:7.3f}-"
+            f"{fixed.calc_duration_range()[1]:.3f}s",
+        ])
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,58 @@
+"""FIG1 -- Figure 1: real scale (t) vs basic colocation (N x t) vs PIL (t+e).
+
+Regenerates the paper's schematic with the actual CPU models: the same
+N-task protocol test is run under each execution model and the makespan is
+compared.  The claims: one-core colocation costs ~N x t, PIL replay costs
+~t + e.
+"""
+
+import pytest
+
+from repro.bench.figures import figure1_timings
+
+NODES = 64
+DEMAND = 1.0
+
+
+@pytest.fixture(scope="module")
+def timings():
+    return figure1_timings(nodes=NODES, task_demand=DEMAND, colo_cores=1,
+                           pil_overhead=0.02)
+
+
+def test_fig1_real_scale_takes_t(benchmark, timings):
+    result = benchmark.pedantic(
+        lambda: figure1_timings(nodes=NODES, task_demand=DEMAND)["real"],
+        rounds=1, iterations=1)
+    assert result.makespan == pytest.approx(DEMAND)
+
+
+def test_fig1_basic_colocation_takes_n_times_t(benchmark, timings):
+    result = benchmark.pedantic(
+        lambda: figure1_timings(nodes=NODES, task_demand=DEMAND,
+                                colo_cores=1)["colo"],
+        rounds=1, iterations=1)
+    assert result.makespan == pytest.approx(NODES * DEMAND)
+
+
+def test_fig1_pil_replay_takes_t_plus_e(benchmark, timings):
+    result = benchmark.pedantic(
+        lambda: figure1_timings(nodes=NODES, task_demand=DEMAND,
+                                pil_overhead=0.02)["pil"],
+        rounds=1, iterations=1)
+    assert result.makespan == pytest.approx(DEMAND + 0.02)
+    # The whole point: PIL ~ real, both << colo.
+    assert result.makespan < timings["colo"].makespan / 10
+
+
+def test_fig1_report(benchmark, timings, capsys):
+    rows = [
+        "FIG1: N-task protocol test makespan (virtual seconds)",
+        f"{'model':>6} {'makespan':>10}",
+    ]
+    for model in ("real", "colo", "pil"):
+        rows.append(f"{model:>6} {timings[model].makespan:>10.2f}")
+    report = "\n".join(rows)
+    benchmark.pedantic(lambda: report, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + report)

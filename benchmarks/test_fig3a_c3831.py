@@ -1,0 +1,62 @@
+"""FIG3a -- Figure 3(a): CASSANDRA-3831, decommission, #flaps vs scale.
+
+Paper claims reproduced here:
+
+* flap symptoms are *not observable* at small/medium scales and explode at
+  the top scale (Real line flat then vertical);
+* basic colocation ("Colo") is far off from real-scale testing;
+* SC+PIL tracks the Real line closely.
+
+Default run uses the shrunk CI calibration (top scale 32 maps onto the
+paper's 256); ``REPRO_FULL=1`` runs the paper's 32-256 sweep.
+"""
+
+import pytest
+
+from repro.bench import calibrate
+from repro.bench.figures import check_figure3_shape, render_figure3
+from repro.bench.runner import figure3_series
+
+BUG = "c3831"
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure3_series(BUG)
+
+
+def test_fig3a_series(benchmark, series):
+    result = benchmark.pedantic(lambda: figure3_series(BUG),
+                                rounds=1, iterations=1)
+    assert result == series
+
+
+def test_fig3a_symptom_only_at_scale(benchmark, series):
+    shape = benchmark.pedantic(lambda: check_figure3_shape(BUG, series),
+                               rounds=1, iterations=1)
+    assert shape.symptom_only_at_scale
+    assert shape.top_scale_real_flaps > 0
+
+
+def test_fig3a_colo_is_far_off(benchmark, series):
+    shape = benchmark.pedantic(lambda: check_figure3_shape(BUG, series),
+                               rounds=1, iterations=1)
+    assert shape.colo_overshoots
+    assert shape.colo_error > 0.25
+
+
+def test_fig3a_pil_tracks_real(benchmark, series):
+    shape = benchmark.pedantic(lambda: check_figure3_shape(BUG, series),
+                               rounds=1, iterations=1)
+    assert shape.pil_tracks_real
+    assert shape.pil_error < 0.25
+    assert shape.pil_error < shape.colo_error
+
+
+def test_fig3a_report(benchmark, series, capsys):
+    text = benchmark.pedantic(lambda: render_figure3(BUG, series),
+                              rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)
+        print(f"(scales: {calibrate.figure3_scales()}, "
+              f"full={calibrate.full_scale()})")

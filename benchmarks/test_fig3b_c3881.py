@@ -1,0 +1,59 @@
+"""FIG3b -- Figure 3(b): CASSANDRA-3881, scale-out with vnodes.
+
+The 3831 fix that stopped scaling once vnodes multiplied N to N*P.  Unlike
+3a/3c, the paper's panel shows flaps already growing at mid scales; the
+shape claims are growth with scale, Colo overshoot, and SC+PIL accuracy.
+"""
+
+import pytest
+
+from repro.bench.figures import check_figure3_shape, render_figure3
+from repro.bench.runner import figure3_series
+from repro.bench import calibrate
+
+BUG = "c3881"
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure3_series(BUG)
+
+
+def test_fig3b_series(benchmark, series):
+    result = benchmark.pedantic(lambda: figure3_series(BUG),
+                                rounds=1, iterations=1)
+    assert result == series
+
+
+def test_fig3b_flaps_grow_with_scale(benchmark, series):
+    scales = benchmark.pedantic(lambda: calibrate.figure3_scales(),
+                                rounds=1, iterations=1)
+    real = [series["real"][n] for n in scales]
+    assert real[0] <= max(1, real[-1] // 20)   # near-flat at the bottom
+    assert real[-1] > 0
+    assert real[-1] >= real[-2] >= real[-3]    # monotone growth at the top
+
+
+def test_fig3b_vnodes_bring_symptoms_earlier(benchmark, series):
+    """The vnode multiplier makes mid scales symptomatic -- that is what
+    distinguished 3881 from 3831."""
+    shape = benchmark.pedantic(lambda: check_figure3_shape(BUG, series),
+                               rounds=1, iterations=1)
+    scales = calibrate.figure3_scales()
+    mid = scales[len(scales) // 2]
+    assert series["real"][mid] > 0
+
+
+def test_fig3b_colo_overshoots_and_pil_tracks(benchmark, series):
+    shape = benchmark.pedantic(lambda: check_figure3_shape(BUG, series),
+                               rounds=1, iterations=1)
+    assert shape.colo_overshoots
+    assert shape.pil_tracks_real
+    assert shape.pil_error < 0.15
+
+
+def test_fig3b_report(benchmark, series, capsys):
+    text = benchmark.pedantic(lambda: render_figure3(BUG, series),
+                              rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,67 @@
+"""FIG3c -- Figure 3(c): CASSANDRA-5456, scale-out under the coarse lock.
+
+Not a complexity bug: the pending-range calculation (already vnode-fixed)
+holds the shared ring-table lock for its whole duration, starving the
+gossip stage.  Claims: symptoms concentrate at the top scale, Colo
+overshoots hugely, SC+PIL tracks Real.
+"""
+
+import pytest
+
+from repro.bench import calibrate
+from repro.bench.figures import check_figure3_shape, render_figure3
+from repro.bench.runner import figure3_series, run_point
+
+BUG = "c5456"
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure3_series(BUG)
+
+
+def test_fig3c_series(benchmark, series):
+    result = benchmark.pedantic(lambda: figure3_series(BUG),
+                                rounds=1, iterations=1)
+    assert result == series
+
+
+def test_fig3c_symptoms_concentrate_at_top_scale(benchmark, series):
+    scales = benchmark.pedantic(lambda: calibrate.figure3_scales(),
+                                rounds=1, iterations=1)
+    real = [series["real"][n] for n in scales]
+    assert real[-1] > 0
+    assert real[-1] >= 2 * max(real[:-1] or [0])
+    assert real[0] == 0
+
+
+def test_fig3c_colo_is_far_off(benchmark, series):
+    shape = benchmark.pedantic(lambda: check_figure3_shape(BUG, series),
+                               rounds=1, iterations=1)
+    assert shape.colo_overshoots
+    assert shape.colo_error > 0.4
+
+
+def test_fig3c_pil_tracks_real(benchmark, series):
+    shape = benchmark.pedantic(lambda: check_figure3_shape(BUG, series),
+                               rounds=1, iterations=1)
+    assert shape.pil_tracks_real
+    assert shape.pil_error < 0.35
+
+
+def test_fig3c_lock_is_the_mechanism(benchmark, series):
+    """Diagnostic: at the top scale the ring lock is held for long
+    stretches (the 5456 signature), unlike the fixed clone-based variant."""
+    top = calibrate.figure3_scales()[-1]
+    buggy = benchmark.pedantic(
+        lambda: run_point(BUG, top, "real"), rounds=1, iterations=1)
+    fixed = run_point("c5456-fixed", top, "real")
+    assert buggy.lock_max_hold > 10 * fixed.lock_max_hold
+    assert fixed.flaps <= buggy.flaps
+
+
+def test_fig3c_report(benchmark, series, capsys):
+    text = benchmark.pedantic(lambda: render_figure3(BUG, series),
+                              rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,63 @@
+"""T-BUGS / T-CAUSE -- sections 2-4: the bug-study population statistics.
+
+Regenerates: per-system counts (9/5/2/9/11/1/1 = 38 bugs), the footnote-1
+root-cause split (47% scale-dependent CPU vs 53% O(N) serialization),
+fix-duration statistics (~1 month mean, 5 months max), protocol diversity,
+and the title claim (most bugs invisible at 100 nodes).
+"""
+
+import pytest
+
+from repro.bench.tables import bug_study_summary, bug_study_table
+from repro.study import default_study, surfaced_scale_histogram, verify_against_paper
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return bug_study_summary()
+
+
+def test_population_counts(benchmark, summary):
+    result = benchmark.pedantic(bug_study_summary, rounds=1, iterations=1)
+    assert result.total == 38
+    assert result.by_system == {
+        "cassandra": 9, "couchbase": 5, "hadoop": 2, "hbase": 9,
+        "hdfs": 11, "riak": 1, "voldemort": 1,
+    }
+
+
+def test_root_cause_split(benchmark, summary):
+    result = benchmark.pedantic(lambda: summary, rounds=1, iterations=1)
+    assert result.cpu_count == 18
+    assert result.serialized_count == 20
+    assert 0.45 < result.cpu_fraction < 0.49
+
+
+def test_fix_durations(benchmark, summary):
+    result = benchmark.pedantic(lambda: summary, rounds=1, iterations=1)
+    assert 25 <= result.mean_fix_days <= 37        # ~1 month
+    assert result.max_fix_days == 150              # 5 months
+
+
+def test_full_verification_against_paper(benchmark):
+    problems = benchmark.pedantic(
+        lambda: verify_against_paper(default_study()), rounds=1, iterations=1)
+    assert problems == []
+
+
+def test_title_claim_100_node_testing_not_enough(benchmark, summary):
+    result = benchmark.pedantic(lambda: summary, rounds=1, iterations=1)
+    assert result.missed_at_100 > 0.5
+
+
+def test_scale_histogram(benchmark):
+    histogram = benchmark.pedantic(
+        lambda: surfaced_scale_histogram(default_study()),
+        rounds=1, iterations=1)
+    assert sum(histogram.values()) == 38
+
+
+def test_bug_study_report(benchmark, capsys):
+    text = benchmark.pedantic(bug_study_table, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,53 @@
+"""T-COLO -- section 8: maximum colocation factor and the three bottlenecks.
+
+Paper: on the 16-core / 32 GB machine the scale-check system reaches a
+colocation factor of 512; at 600 nodes it hits one of (CPU > 90%
+contention, memory exhaustion, high event lateness).  Basic colocation
+(live offending compute) saturates far earlier -- the reason PIL exists.
+"""
+
+import pytest
+
+from repro.bench.tables import colocation_limits, render_colocation_limits
+from repro.core.colocation import (
+    CPU_CONTENTION,
+    EVENT_LATENESS,
+    MEMORY_EXHAUSTION,
+    probe_colocation_sim,
+)
+
+
+@pytest.fixture(scope="module")
+def limits():
+    return colocation_limits()
+
+
+def test_pil_max_factor_matches_paper_band(benchmark, limits):
+    result = benchmark.pedantic(colocation_limits, rounds=1, iterations=1)
+    # Paper reached 512 and failed at 600: the model's limit sits between.
+    assert 384 <= result.pil_max_factor <= 640
+
+
+def test_600_nodes_hit_a_known_bottleneck(benchmark, limits):
+    result = benchmark.pedantic(lambda: limits, rounds=1, iterations=1)
+    assert result.probe_600_bottlenecks
+    assert set(result.probe_600_bottlenecks) <= {
+        CPU_CONTENTION, MEMORY_EXHAUSTION, EVENT_LATENESS}
+
+
+def test_basic_colocation_saturates_far_earlier(benchmark, limits):
+    result = benchmark.pedantic(lambda: limits, rounds=1, iterations=1)
+    assert result.colo_max_factor < result.pil_max_factor / 2
+
+
+def test_sim_probe_agrees_with_model_at_small_factor(benchmark):
+    probe = benchmark.pedantic(lambda: probe_colocation_sim(12, duration=15.0),
+                               rounds=1, iterations=1)
+    assert probe.ok
+
+
+def test_colocation_report(benchmark, limits, capsys):
+    text = benchmark.pedantic(lambda: render_colocation_limits(limits),
+                              rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,131 @@
+"""T-TECH -- section 4 quantified: every scale-testing technique, compared.
+
+The paper's related-work section characterizes five approaches; this bench
+runs each one against the same CPU-bound scalability bug (CASSANDRA-3831
+at the sweep's symptom scale) and reports whether it *finds* the bug, how
+*accurate* its symptom count is, and what it *costs*:
+
+* mini-cluster testing      -- misses (symptoms need scale);
+* design-level simulation   -- misses (model omits processing time);
+* extrapolation             -- misses (zero training signal);
+* real-scale testing        -- finds it; needs N machines;
+* DieCast time dilation     -- finds it accurately; takes TDF x longer;
+* Exalt data-space emulation-- nothing to compress on a CPU bug: behaves
+                               like basic colocation (inaccurate);
+* scale-check + PIL         -- finds it accurately on one machine at ~1x.
+"""
+
+import pytest
+
+from repro.baselines import (
+    design_scalability_check,
+    exalt_blind_spot,
+    extrapolate_flaps,
+    run_diecast,
+)
+from repro.bench import calibrate
+from repro.bench.runner import run_point
+from repro.cassandra.metrics import accuracy_error
+
+BUG = "c3831"
+
+
+def symptom_scale():
+    return calibrate.figure3_scales()[-1]
+
+
+@pytest.fixture(scope="module")
+def ground_truth():
+    return run_point(BUG, symptom_scale(), "real")
+
+
+def test_mini_cluster_testing_misses(benchmark, ground_truth):
+    mini = benchmark.pedantic(
+        lambda: run_point(BUG, calibrate.figure3_scales()[0], "real"),
+        rounds=1, iterations=1)
+    assert mini.flaps == 0            # "passes" the test
+    assert ground_truth.flaps > 0     # yet the bug is real
+
+
+def test_design_simulation_misses(benchmark, ground_truth):
+    verdicts = benchmark.pedantic(
+        lambda: design_scalability_check([symptom_scale(), 1024]),
+        rounds=1, iterations=1)
+    assert all(not v.predicts_flapping for v in verdicts.values())
+    assert ground_truth.flaps > 0
+
+
+def test_extrapolation_misses(benchmark, ground_truth):
+    result = benchmark.pedantic(
+        lambda: extrapolate_flaps(BUG, symptom_scale(), runner=run_point),
+        rounds=1, iterations=1)
+    assert result.missed
+    assert result.predicted_flaps < ground_truth.flaps / 10
+
+
+def test_diecast_finds_it_at_tdf_cost(benchmark, ground_truth):
+    result = benchmark.pedantic(
+        lambda: run_diecast(BUG, symptom_scale(),
+                            cost_constants=calibrate.experiment_constants(BUG),
+                            params=calibrate.scenario_params()),
+        rounds=1, iterations=1)
+    assert result.valid
+    error = accuracy_error(ground_truth, result.report)
+    assert error < 0.25               # accurate...
+    base_window = (calibrate.scenario_params().warmup
+                   + calibrate.scenario_params().observe)
+    assert result.test_duration == pytest.approx(
+        base_window * result.tdf)     # ...but TDF x slower
+
+
+def test_exalt_blind_on_cpu_bugs(benchmark, ground_truth):
+    spot = benchmark.pedantic(
+        lambda: exalt_blind_spot(BUG, symptom_scale(), runner=run_point),
+        rounds=1, iterations=1)
+    assert spot.exalt_misses
+    assert spot.pil_error < spot.exalt_error
+
+
+def test_scalecheck_pil_finds_it_accurately(benchmark, ground_truth):
+    pil = benchmark.pedantic(
+        lambda: run_point(BUG, symptom_scale(), "pil"),
+        rounds=1, iterations=1)
+    assert pil.flaps > 0
+    assert accuracy_error(ground_truth, pil) < 0.25
+
+
+def test_technique_table_report(benchmark, ground_truth, capsys):
+    def build():
+        top = symptom_scale()
+        mini = run_point(BUG, calibrate.figure3_scales()[0], "real")
+        extrapolation = extrapolate_flaps(BUG, top, runner=run_point)
+        diecast = run_diecast(BUG, top,
+                              cost_constants=calibrate.experiment_constants(BUG),
+                              params=calibrate.scenario_params())
+        colo = run_point(BUG, top, "colo")
+        pil = run_point(BUG, top, "pil")
+        rows = [
+            "T-TECH: scale-testing techniques vs one CPU-bound bug "
+            f"({BUG}, N={top})",
+            f"{'technique':>22} {'flaps':>8} {'vs real':>8} {'cost':>14}",
+            f"{'real-scale testing':>22} {ground_truth.flaps:>8d} "
+            f"{'--':>8} {f'{top} machines':>14}",
+            f"{'mini-cluster':>22} {mini.flaps:>8d} "
+            f"{accuracy_error(ground_truth, mini):>8.0%} {'cheap, blind':>14}",
+            f"{'design simulation':>22} {0:>8d} {'100%':>8} {'model only':>14}",
+            f"{'extrapolation':>22} {int(extrapolation.predicted_flaps):>8d} "
+            f"{extrapolation.relative_error:>8.0%} {'4 small runs':>14}",
+            f"{'basic colo (Exalt)':>22} {colo.flaps:>8d} "
+            f"{accuracy_error(ground_truth, colo):>8.0%} {'1 machine':>14}",
+            f"{'DieCast TDF=' + str(diecast.tdf):>22} "
+            f"{diecast.report.flaps:>8d} "
+            f"{accuracy_error(ground_truth, diecast.report):>8.0%} "
+            f"{f'{diecast.tdf}x test time':>14}",
+            f"{'scale-check + PIL':>22} {pil.flaps:>8d} "
+            f"{accuracy_error(ground_truth, pil):>8.0%} {'1 machine, ~1x':>14}",
+        ]
+        return "\n".join(rows)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,98 @@
+"""T-IMPACT -- section 1's user-visible consequence, measured end to end.
+
+"...leads to a scalability bug that makes the cluster unstable (many live
+nodes are declared as dead, making some data not reachable by the users)."
+
+A steady key-value workload (quorum writes + quorum reads) runs against
+the cluster while the CASSANDRA-3831 decommission storm plays out at the
+symptom scale.  The buggy code path turns flaps into client-visible
+unavailability; the fixed path serves everything.
+"""
+
+import pytest
+
+from repro.bench import calibrate
+from repro.cassandra import (
+    ClientLoad,
+    Cluster,
+    ClusterConfig,
+    ScenarioParams,
+)
+from repro.cassandra.cluster import node_name
+from repro.cassandra.workloads import _decommission_driver
+
+
+def run_with_clients(bug_id: str, nodes: int, seed: int = 3):
+    params = calibrate.scenario_params()
+    config = ClusterConfig.for_bug(
+        bug_id, nodes=nodes, seed=seed, enable_storage=True,
+        cost_constants=calibrate.experiment_constants(bug_id))
+    cluster = Cluster(config)
+    cluster.build_established()
+    load = ClientLoad(cluster, clients=4, interval=1.0)
+    cluster.run(until=params.warmup)
+    load.start()
+    victim = cluster.nodes[node_name(nodes - 1)]
+    cluster.sim.spawn(_decommission_driver(victim, params))
+    cluster.run(until=params.warmup + params.observe)
+    return cluster, load.stats
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    top = calibrate.figure3_scales()[-1]
+    buggy_cluster, buggy = run_with_clients("c3831", top)
+    fixed_cluster, fixed = run_with_clients("c3831-fixed", top)
+    return buggy_cluster, buggy, fixed_cluster, fixed
+
+
+def test_flapping_translates_to_client_errors(benchmark, outcomes):
+    buggy_cluster, buggy, __, ___ = benchmark.pedantic(
+        lambda: outcomes, rounds=1, iterations=1)
+    assert buggy_cluster.flaps.total > 0
+    assert buggy.failure_fraction > 0.0
+    assert buggy.unavailable + buggy.timeouts > 0
+
+
+def test_fixed_path_serves_everything(benchmark, outcomes):
+    __, ___, fixed_cluster, fixed = benchmark.pedantic(
+        lambda: outcomes, rounds=1, iterations=1)
+    assert fixed_cluster.flaps.total == 0
+    assert fixed.failure_fraction == 0.0
+    assert fixed.attempts > 100
+
+
+def test_failures_cluster_in_the_storm_window(benchmark, outcomes):
+    """Unavailability is concentrated while the stage is wedged, not
+    uniformly spread -- the flapping causality, visible from the client."""
+    __, buggy, ___, ____ = benchmark.pedantic(
+        lambda: outcomes, rounds=1, iterations=1)
+    if buggy.failures_by_second:
+        span = max(buggy.failures_by_second) - min(buggy.failures_by_second)
+        observe = calibrate.scenario_params().observe
+        assert span <= observe
+
+
+def test_user_impact_report(benchmark, outcomes, capsys):
+    buggy_cluster, buggy, fixed_cluster, fixed = outcomes
+
+    def render():
+        lines = [
+            "T-IMPACT: client-visible effect of the c3831 storm "
+            f"(quorum ops, N={calibrate.figure3_scales()[-1]})",
+            f"{'variant':>8} {'flaps':>7} {'ops':>6} {'failed':>7} "
+            f"{'failure rate':>13}",
+            f"{'buggy':>8} {buggy_cluster.flaps.total:>7d} "
+            f"{buggy.attempts:>6d} "
+            f"{buggy.unavailable + buggy.timeouts:>7d} "
+            f"{buggy.failure_fraction:>13.1%}",
+            f"{'fixed':>8} {fixed_cluster.flaps.total:>7d} "
+            f"{fixed.attempts:>6d} "
+            f"{fixed.unavailable + fixed.timeouts:>7d} "
+            f"{fixed.failure_fraction:>13.1%}",
+        ]
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Explore the 38-bug scalability-bug study (paper sections 2-4).
+
+Prints the population table, the root-cause split, and answers the
+question in the paper's title: at what test-cluster size would each bug
+have been caught?
+
+Run:
+    python examples/bug_study_explorer.py [test_scale]
+"""
+
+import sys
+
+from repro.study import (
+    CAUSE_CPU,
+    default_study,
+    render_population_table,
+    surfaced_scale_histogram,
+)
+
+
+def main() -> None:
+    test_scale = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    study = default_study()
+
+    print(render_population_table(study))
+    print()
+
+    print("surfacing-scale histogram (nodes needed before symptoms appear):")
+    for bucket, count in surfaced_scale_histogram(study).items():
+        bar = "#" * count
+        print(f"  {bucket:>10}: {count:2d} {bar}")
+    print()
+
+    missed = study.surfacing_above(test_scale)
+    print(f"testing at {test_scale} nodes would miss "
+          f"{len(missed)}/{len(study)} bugs "
+          f"({study.fraction_missed_at(test_scale):.0%}):")
+    for record in sorted(missed, key=lambda r: -r.surfaced_at_nodes)[:8]:
+        marker = "*" if record.named_in_paper else " "
+        print(f" {marker} {record.bug_id:<22} {record.system:<10} "
+              f"needs >{record.surfaced_at_nodes} nodes "
+              f"({record.protocol}, {record.complexity})")
+    if len(missed) > 8:
+        print(f"   ... and {len(missed) - 8} more")
+    print("\n  (* = ticket named in the paper; others are reconstructed")
+    print("     population records matching the paper's aggregates)")
+    print()
+
+    cpu_bugs = study.by_cause(CAUSE_CPU)
+    print(f"{len(cpu_bugs)} bugs are scale-dependent CPU computation -- the "
+          "class PIL targets;")
+    slowest = max(study, key=lambda r: r.fix_days)
+    print(f"the slowest fix took {slowest.fix_days} days: "
+          f"{slowest.bug_id} ({slowest.title})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Colocation planning: how many nodes fit on this machine, and why not more?
+
+Section 6 of the paper: before scale-check hits 100% CPU it hits memory
+exhaustion and context-switch lateness, because distributed systems are
+not built to be "scale-checkable".  This script sweeps colocation factors
+on a configurable machine for three deployment styles --
+
+* basic colocation with live offending computation,
+* per-process nodes with PIL,
+* the single-process, event-driven redesign with PIL,
+
+-- and reports each style's maximum colocation factor and binding
+bottleneck (the section 8 result: ~512 max on 16 cores / 32 GB; 600 fails).
+
+Run:
+    python examples/colocation_planner.py [cores] [dram_gb]
+"""
+
+import sys
+
+from repro.cassandra.cluster import MachineSpec
+from repro.cassandra.pending_ranges import CalculatorVariant
+from repro.core.colocation import (
+    ColocationAnalyzer,
+    DemandModel,
+    per_process_footprint,
+    probe_colocation_sim,
+    single_process_footprint,
+)
+from repro.sim.memory import GB
+
+
+def describe(name: str, analyzer: ColocationAnalyzer) -> None:
+    limit = analyzer.max_colocation_factor()
+    print(f"{name}: max colocation factor {limit}")
+    for factor in (limit, limit + 64):
+        probe = analyzer.probe(max(factor, 1))
+        status = "OK" if probe.ok else "FAILS: " + ", ".join(probe.bottlenecks)
+        print(f"  factor {probe.factor:>5d}: cpu {probe.cpu_utilization:5.0%} "
+              f"mem {probe.memory_fraction:5.0%} "
+              f"lateness {probe.event_lateness:8.3f}s  {status}")
+    print()
+
+
+def main() -> None:
+    cores = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    dram_gb = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    machine = MachineSpec(cores=cores, dram_bytes=dram_gb * GB)
+    print(f"machine: {cores} cores, {dram_gb} GB DRAM "
+          f"(paper testbed: 16 cores, 32 GB)\n")
+
+    describe(
+        "basic colocation (live O(N^3) compute)",
+        ColocationAnalyzer(
+            machine=machine, pil=False, footprint=per_process_footprint(),
+            demand=DemandModel(calc_variant=CalculatorVariant.V0_C3831,
+                               calcs_per_second=1.0),
+        ),
+    )
+    describe(
+        "per-process nodes + PIL",
+        ColocationAnalyzer(machine=machine, pil=True,
+                           footprint=per_process_footprint()),
+    )
+    describe(
+        "single-process redesign + PIL (the scale-checkable system)",
+        ColocationAnalyzer(machine=machine, pil=True,
+                           footprint=single_process_footprint()),
+    )
+
+    print("validating the analytic model with a short simulated probe...")
+    probe = probe_colocation_sim(12, duration=15.0, machine=machine)
+    print(f"  simulated factor 12: cpu {probe.cpu_utilization:.0%}, "
+          f"mem {probe.memory_fraction:.0%}, "
+          f"max gossip-round lateness {probe.event_lateness * 1e3:.1f} ms, "
+          f"{'OK' if probe.ok else 'FAILS'}")
+
+
+if __name__ == "__main__":
+    main()

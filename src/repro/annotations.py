@@ -1,0 +1,142 @@
+"""Developer annotations for scale-check (step (a) of the paper's Figure 2).
+
+The paper's workflow starts with developers *lightly* annotating (< 30 LOC)
+the data structures whose size depends on cluster scale -- in Cassandra, the
+ring table and endpoint-state map.  Everything downstream (the offending-
+function finder, the auto-instrumenter) keys off these annotations.
+
+Two annotation surfaces are provided:
+
+* :func:`scale_dependent` -- decorator/marker for classes, functions, or
+  named attributes whose size grows with the cluster;
+* :func:`pil_safe` / :func:`pil_unsafe` -- explicit overrides for the
+  finder's PIL-safety analysis (the analysis is conservative; a developer
+  can assert safety for a function whose side effects are benign, or veto a
+  function the analysis would otherwise replace).
+
+Annotations are recorded in a process-global :class:`AnnotationRegistry` so
+the AST-based finder can resolve names to annotations without importing
+target modules' runtime state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass
+class ScaleDepAnnotation:
+    """One scale-dependent structure annotation."""
+
+    name: str                     # qualified name or attribute name
+    axis: str = "cluster-size"    # which axis of scale: cluster-size, data, load
+    note: str = ""
+
+
+class AnnotationRegistry:
+    """Process-global store of annotations, consulted by the finder."""
+
+    def __init__(self) -> None:
+        self._scale_dep: Dict[str, ScaleDepAnnotation] = {}
+        self._pil_safe: Set[str] = set()
+        self._pil_unsafe: Set[str] = set()
+
+    # -- registration ----------------------------------------------------------
+
+    def add_scale_dependent(self, annotation: ScaleDepAnnotation) -> None:
+        """Register one scale-dependent structure annotation."""
+        self._scale_dep[annotation.name] = annotation
+
+    def add_pil_safe(self, qualname: str) -> None:
+        """Record a developer assertion that ``qualname`` is PIL-safe."""
+        self._pil_safe.add(qualname)
+        self._pil_unsafe.discard(qualname)
+
+    def add_pil_unsafe(self, qualname: str) -> None:
+        """Record a developer veto: ``qualname`` must not take the PIL."""
+        self._pil_unsafe.add(qualname)
+        self._pil_safe.discard(qualname)
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_scale_dependent(self, name: str) -> bool:
+        """True if ``name`` (qualified or bare attribute name) is annotated."""
+        if name in self._scale_dep:
+            return True
+        tail = name.rsplit(".", 1)[-1]
+        return tail in self._scale_dep
+
+    def scale_dependent_names(self) -> List[str]:
+        """All annotated names, sorted."""
+        return sorted(self._scale_dep)
+
+    def annotation_for(self, name: str) -> Optional[ScaleDepAnnotation]:
+        """The annotation for ``name`` (qualified or bare), or None."""
+        if name in self._scale_dep:
+            return self._scale_dep[name]
+        return self._scale_dep.get(name.rsplit(".", 1)[-1])
+
+    def pil_safety_override(self, qualname: str) -> Optional[bool]:
+        """Explicit developer verdict for ``qualname``, if any."""
+        if qualname in self._pil_safe:
+            return True
+        if qualname in self._pil_unsafe:
+            return False
+        return None
+
+    def clear(self) -> None:
+        """Reset all annotations (used by tests)."""
+        self._scale_dep.clear()
+        self._pil_safe.clear()
+        self._pil_unsafe.clear()
+
+
+#: The default process-global registry.
+REGISTRY = AnnotationRegistry()
+
+
+def scale_dependent(*names: str, axis: str = "cluster-size",
+                    note: str = "", registry: AnnotationRegistry = REGISTRY):
+    """Mark data structures as scale-dependent.
+
+    Usable three ways::
+
+        scale_dependent("ring", "endpoint_state_map")   # call form
+
+        @scale_dependent()                              # class decorator:
+        class TokenMetadata: ...                        # annotates the class name
+
+        @scale_dependent("tokens")                      # decorator + attrs
+        class Ring: ...
+    """
+    for name in names:
+        registry.add_scale_dependent(ScaleDepAnnotation(name, axis=axis, note=note))
+
+    def decorate(obj):
+        """Decorate."""
+        qualname = getattr(obj, "__qualname__", getattr(obj, "__name__", str(obj)))
+        registry.add_scale_dependent(ScaleDepAnnotation(qualname, axis=axis, note=note))
+        bare = getattr(obj, "__name__", None)
+        if bare and bare != qualname:
+            # Also register the bare name: the AST finder sees unqualified
+            # identifiers, and locally-defined classes carry nested
+            # qualnames ("outer.<locals>.Ring").
+            registry.add_scale_dependent(ScaleDepAnnotation(bare, axis=axis, note=note))
+        return obj
+
+    return decorate
+
+
+def pil_safe(func: F, registry: AnnotationRegistry = REGISTRY) -> F:
+    """Assert that ``func`` may be PIL-replaced (memoizable, side-effect free)."""
+    registry.add_pil_safe(func.__qualname__)
+    return func
+
+
+def pil_unsafe(func: F, registry: AnnotationRegistry = REGISTRY) -> F:
+    """Veto PIL replacement of ``func`` regardless of analysis verdict."""
+    registry.add_pil_unsafe(func.__qualname__)
+    return func

@@ -1,0 +1,47 @@
+"""The paper's section 4 state-of-the-art baselines, implemented.
+
+Testing/benchmarking at mini-cluster scale, design-level simulation,
+extrapolation from small scales, DieCast-style time-dilated emulation, and
+Exalt-style data-space emulation -- each with the experiment that shows
+where it works and where scale-check + PIL is needed.
+"""
+
+from .diecast import DieCastResult, recommended_tdf, run_diecast
+from .exalt import (
+    ExaltBlindSpot,
+    StoragePolicyOutcome,
+    compare_storage_policies,
+    exalt_blind_spot,
+)
+from .extrapolate import ExtrapolationResult, extrapolate_flaps, fit_and_predict
+from .modelsim import (
+    DesignModelParams,
+    ModelVerdict,
+    conviction_staleness_threshold,
+    design_scalability_check,
+    design_staleness,
+    implementation_aware_check,
+    implementation_staleness,
+    storm_backlog_estimate,
+)
+
+__all__ = [
+    "DesignModelParams",
+    "DieCastResult",
+    "ExaltBlindSpot",
+    "ExtrapolationResult",
+    "ModelVerdict",
+    "StoragePolicyOutcome",
+    "compare_storage_policies",
+    "conviction_staleness_threshold",
+    "design_scalability_check",
+    "design_staleness",
+    "exalt_blind_spot",
+    "extrapolate_flaps",
+    "fit_and_predict",
+    "implementation_aware_check",
+    "implementation_staleness",
+    "recommended_tdf",
+    "run_diecast",
+    "storm_backlog_estimate",
+]

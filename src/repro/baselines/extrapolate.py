@@ -1,0 +1,91 @@
+"""The extrapolation baseline (section 4).
+
+"Extrapolation learns system behaviors in small scale (e.g., 4-8 nodes)
+and then extrapolates them to larger scales ... bug symptoms might not
+appear in the small training scale, hence the behaviors are hard to
+extrapolate accurately."
+
+We quantify that failure: fit a polynomial to flap counts measured at small
+training scales and predict the target scale.  For latent scalability bugs
+the training signal is identically zero, so any regression predicts ~zero
+-- and misses the bug that a real-scale (or scale-check) run exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..cassandra.metrics import RunReport
+
+
+@dataclass
+class ExtrapolationResult:
+    """Outcome of one train-small / predict-large experiment."""
+
+    bug_id: str
+    train_scales: List[int]
+    train_flaps: List[int]
+    target_scale: int
+    predicted_flaps: float
+    actual_flaps: int
+    degree: int
+
+    @property
+    def missed(self) -> bool:
+        """Did extrapolation miss a bug that actually manifests?
+
+        Missed = the real target run flaps substantially while the
+        prediction stays near the training regime.
+        """
+        if self.actual_flaps == 0:
+            return False
+        return self.predicted_flaps < self.actual_flaps / 10
+
+    @property
+    def relative_error(self) -> float:
+        """Prediction error relative to the actual flap count."""
+        return (abs(self.actual_flaps - self.predicted_flaps)
+                / max(self.actual_flaps, 1))
+
+
+def fit_and_predict(train_scales: Sequence[int], train_values: Sequence[float],
+                    target_scale: int, degree: int = 2) -> float:
+    """Least-squares polynomial extrapolation (clamped at zero)."""
+    if len(train_scales) != len(train_values) or not train_scales:
+        raise ValueError("need matching, non-empty training data")
+    degree = min(degree, len(train_scales) - 1)
+    coeffs = np.polyfit(np.array(train_scales, dtype=float),
+                        np.array(train_values, dtype=float), deg=max(degree, 0))
+    predicted = float(np.polyval(coeffs, float(target_scale)))
+    return max(predicted, 0.0)
+
+
+def extrapolate_flaps(
+    bug_id: str,
+    target_scale: int,
+    runner: Callable[[str, int, str], RunReport],
+    train_scales: Optional[Sequence[int]] = None,
+    degree: int = 2,
+) -> ExtrapolationResult:
+    """Train on small real runs, predict the target, compare with reality.
+
+    ``runner(bug_id, nodes, mode)`` supplies experiment points (typically
+    :func:`repro.bench.runner.run_point`, so results are cached).
+    """
+    train_scales = list(train_scales) if train_scales else [4, 6, 8, 10]
+    train_flaps = [runner(bug_id, n, "real").flaps for n in train_scales]
+    predicted = fit_and_predict(train_scales, train_flaps, target_scale,
+                                degree=degree)
+    actual = runner(bug_id, target_scale, "real").flaps
+    return ExtrapolationResult(
+        bug_id=bug_id,
+        train_scales=train_scales,
+        train_flaps=train_flaps,
+        target_scale=target_scale,
+        predicted_flaps=predicted,
+        actual_flaps=actual,
+        degree=degree,
+    )

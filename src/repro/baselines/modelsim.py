@@ -1,0 +1,137 @@
+"""The design-level simulation baseline (sections 3 and 4).
+
+"Simulation depends on the developers to model their code and then
+simulate the model in different scales ... a design/model can look
+scalable but the actual implementation can still contain unforeseen bugs."
+
+The concrete instance from the paper: Cassandra adopted the phi accrual
+failure detector *because its design is provably scalable* -- but "the
+design model and proof did not account gossip processing time during
+bootstrap/cluster-rescale".  This module evaluates exactly that analytic
+model: heartbeat staleness under gossip propagation alone (the design view)
+versus staleness once implementation-level processing delay is added (the
+in-situ view).  The design view predicts zero flaps at every scale; the
+implementation view, fed the *measured* offending durations, predicts the
+blow-up -- but those durations are only knowable by running the code,
+which is the paper's whole argument for in-situ time recording.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from ..cassandra.failure_detector import DEFAULT_PHI_THRESHOLD, PHI_FACTOR
+
+
+@dataclass
+class DesignModelParams:
+    """Parameters of the analytic gossip/failure-detector model."""
+
+    gossip_interval: float = 1.0
+    phi_threshold: float = DEFAULT_PHI_THRESHOLD
+    #: Mean inter-arrival of heartbeat *updates* per peer, as a fraction of
+    #: the gossip interval (digest exchange batches many peers per round).
+    arrival_factor: float = 1.0
+    #: Gossip dissemination reaches all nodes in ~log2(N) rounds.
+    propagation_rounds_factor: float = 1.0
+
+
+def conviction_staleness_threshold(params: DesignModelParams) -> float:
+    """Silence (seconds) after which phi crosses the conviction threshold.
+
+    phi = PHI_FACTOR * staleness / mean_interval > threshold
+    =>  staleness > threshold * mean_interval / PHI_FACTOR.
+    """
+    mean_interval = params.gossip_interval * params.arrival_factor
+    return params.phi_threshold * mean_interval / PHI_FACTOR
+
+
+def design_staleness(n: int, params: DesignModelParams) -> float:
+    """Worst-case heartbeat staleness under the *design* model: pure
+    epidemic propagation delay, zero processing time."""
+    rounds = params.propagation_rounds_factor * math.log2(max(n, 2))
+    return rounds * params.gossip_interval
+
+
+def implementation_staleness(n: int, params: DesignModelParams,
+                             processing_delay: float,
+                             storm_backlog: float = 0.0) -> float:
+    """Staleness once implementation effects are added: the gossip stage
+    serves a backlog of scale-dependent computations, so applied heartbeats
+    lag by the queueing delay on top of propagation."""
+    return design_staleness(n, params) + processing_delay + storm_backlog
+
+
+@dataclass
+class ModelVerdict:
+    """The analytic model's verdict for one scale."""
+
+    nodes: int
+    staleness: float
+    threshold: float
+
+    @property
+    def predicts_flapping(self) -> bool:
+        """True when modeled staleness exceeds the conviction threshold."""
+        return self.staleness > self.threshold
+
+
+def design_scalability_check(
+    scales: Sequence[int],
+    params: Optional[DesignModelParams] = None,
+) -> Dict[int, ModelVerdict]:
+    """The design-level proof sketch: scalable at every N (no flapping).
+
+    This is the check the paper says developers *did* effectively perform
+    -- and it passes, because the model omits processing time.
+    """
+    params = params or DesignModelParams()
+    threshold = conviction_staleness_threshold(params)
+    return {
+        n: ModelVerdict(nodes=n, staleness=design_staleness(n, params),
+                        threshold=threshold)
+        for n in scales
+    }
+
+
+def implementation_aware_check(
+    scales: Sequence[int],
+    delay_for_scale: Callable[[int], float],
+    backlog_for_scale: Optional[Callable[[int], float]] = None,
+    params: Optional[DesignModelParams] = None,
+) -> Dict[int, ModelVerdict]:
+    """The model *with* measured processing delays plugged in.
+
+    ``delay_for_scale(n)`` supplies the per-calculation duration at scale
+    ``n`` -- in practice only obtainable from in-situ recording (a memo DB
+    or a cost model validated against one), which is the point: the model
+    is only as good as implementation measurements it cannot predict.
+    """
+    params = params or DesignModelParams()
+    threshold = conviction_staleness_threshold(params)
+    verdicts = {}
+    for n in scales:
+        backlog = backlog_for_scale(n) if backlog_for_scale else 0.0
+        verdicts[n] = ModelVerdict(
+            nodes=n,
+            staleness=implementation_staleness(
+                n, params, delay_for_scale(n), backlog),
+            threshold=threshold,
+        )
+    return verdicts
+
+
+def storm_backlog_estimate(calc_duration: float, triggers_per_second: float,
+                           window: float) -> float:
+    """Queueing backlog of a single-threaded stage under a calc storm.
+
+    With utilization rho = duration * rate, backlog grows roughly as
+    ``(rho - 1) * window`` once overloaded, else stays near
+    ``rho * duration`` (one calc in progress).
+    """
+    rho = calc_duration * triggers_per_second
+    if rho <= 1.0:
+        return rho * calc_duration
+    return (rho - 1.0) * window

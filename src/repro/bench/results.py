@@ -1,0 +1,123 @@
+"""Experiment-result persistence: full-scale runs are too expensive to lose.
+
+A paper-scale Figure 3 panel takes minutes per point; the in-process
+:class:`~repro.bench.runner.ExperimentCache` does not survive pytest
+invocations.  :class:`ResultStore` persists :class:`RunReport` summaries
+keyed by their full experiment identity (bug, nodes, mode, seed, scenario
+params, cost constants), so repeated bench runs and notebooks reuse them.
+Flap events and calc records are summarized, not stored (they can be
+regenerated deterministically from the seed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..cassandra.metrics import RunReport
+from ..cassandra.pending_ranges import CostConstants
+from ..cassandra.tokens import stable_hash64
+from ..cassandra.workloads import ScenarioParams
+
+#: Bump when RunReport serialization changes incompatibly.
+SCHEMA_VERSION = 2
+
+
+def experiment_key(bug_id: str, nodes: int, mode: str, seed: int,
+                   params: ScenarioParams,
+                   constants: CostConstants) -> str:
+    """Stable identity of one experiment point."""
+    blob = json.dumps({
+        "bug": bug_id, "nodes": nodes, "mode": mode, "seed": seed,
+        "params": dataclasses.asdict(params),
+        "constants": dataclasses.asdict(constants),
+        "schema": SCHEMA_VERSION,
+    }, sort_keys=True)
+    return f"{bug_id}:{nodes}:{mode}:{seed}:{stable_hash64(blob):016x}"
+
+
+def report_to_dict(report: RunReport) -> Dict[str, Any]:
+    """Summary form of a report (drops per-event detail)."""
+    data = dataclasses.asdict(report)
+    data["flap_events"] = len(report.flap_events)
+    demands = [record.demand for record in report.calc_records]
+    data["calc_records"] = {
+        "count": len(demands),
+        "demand_min": min(demands) if demands else 0.0,
+        "demand_max": max(demands) if demands else 0.0,
+        "demand_total": sum(demands),
+    }
+    return data
+
+
+def report_from_dict(data: Dict[str, Any]) -> RunReport:
+    """Rehydrate a summary report (event lists stay empty)."""
+    payload = dict(data)
+    payload["flap_events"] = []
+    payload["calc_records"] = []
+    field_names = {field.name for field in dataclasses.fields(RunReport)}
+    payload = {key: value for key, value in payload.items()
+               if key in field_names}
+    return RunReport(**payload)
+
+
+class ResultStore:
+    """A JSON file of experiment summaries."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        payload = json.loads(self.path.read_text())
+        if payload.get("schema") == SCHEMA_VERSION:
+            self._entries = payload.get("entries", {})
+
+    def save(self) -> None:
+        """Write the store to its JSON file."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(
+            {"schema": SCHEMA_VERSION, "entries": self._entries},
+            indent=1, sort_keys=True))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[RunReport]:
+        """Look up an entry; returns None when absent."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report_from_dict(entry["report"])
+
+    def put(self, key: str, report: RunReport,
+            note: str = "") -> None:
+        """Insert or replace the entry under the given key."""
+        self._entries[key] = {
+            "report": report_to_dict(report),
+            "note": note,
+        }
+
+    def get_or_run(self, key: str, runner, note: str = "",
+                   autosave: bool = True) -> RunReport:
+        """Return the stored report or execute ``runner()`` and store it."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        report = runner()
+        self.put(key, report, note=note)
+        if autosave:
+            self.save()
+        return report
+
+    def keys(self):
+        """All stored keys, sorted."""
+        return sorted(self._entries)

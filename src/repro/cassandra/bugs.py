@@ -1,0 +1,160 @@
+"""Registry of the reproduced scalability bugs and their code-path switches.
+
+Each :class:`BugConfig` selects the historical code path a cluster runs:
+which pending-range calculator variant, whether the calculation runs inline
+on the gossip stage or on its own stage, how the shared ring lock is held,
+and whether the vnode and fresh-bootstrap paths are active.  ``fixed``
+variants of every bug are registered too, so tests and ablations can verify
+that each historical fix actually removes the symptom in this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, List, Optional
+
+from .pending_ranges import CalculatorVariant
+
+
+class LockMode(str, Enum):
+    """How the ring-table lock is used (the CASSANDRA-5456 axis)."""
+
+    #: No cross-stage lock (calculation runs inline on the gossip stage).
+    NONE = "none"
+    #: One coarse lock shared by gossip processing and the calculation; the
+    #: calculation holds it for its full duration (the 5456 bug).
+    COARSE = "coarse"
+    #: The 5456 fix: clone the ring table, release the lock early, compute
+    #: on the clone.
+    CLONE = "clone"
+
+
+class Workload(str, Enum):
+    """Which membership protocol a scenario exercises (paper section 3:
+    'diverse protocols ... bootstrap, scale-out, decommission, rebalance,
+    and failover, all must be tested at scale')."""
+
+    DECOMMISSION = "decommission"
+    SCALE_OUT = "scale-out"
+    BOOTSTRAP = "bootstrap"
+    FAILOVER = "failover"
+    REBALANCE = "rebalance"
+
+
+@dataclass(frozen=True)
+class BugConfig:
+    """One historical code-path configuration."""
+
+    bug_id: str
+    title: str
+    variant: CalculatorVariant
+    workload: Workload
+    vnodes: int = 1
+    calc_in_gossip_stage: bool = True
+    lock_mode: LockMode = LockMode.NONE
+    #: Recalculate on every gossip message applied while changes are in
+    #: flight (the storm behaviour of the buggy era), not only when ring
+    #: content actually changed.
+    recalc_storm: bool = True
+    #: Calculator used on the bootstrap-from-scratch path, if different
+    #: (CASSANDRA-6127's branch-guarded fresh ring construction).
+    fresh_bootstrap_variant: Optional[CalculatorVariant] = None
+    fixed: bool = False
+
+    def calculator_for(self, fresh_bootstrap: bool) -> CalculatorVariant:
+        """The calculator variant active on this code path."""
+        if fresh_bootstrap and self.fresh_bootstrap_variant is not None:
+            return self.fresh_bootstrap_variant
+        return self.variant
+
+
+def _build_registry() -> Dict[str, BugConfig]:
+    c3831 = BugConfig(
+        bug_id="c3831",
+        title="CASSANDRA-3831: scaling to large clusters in GossipStage "
+              "impossible due to calculatePendingRanges",
+        variant=CalculatorVariant.V0_C3831,
+        workload=Workload.DECOMMISSION,
+        vnodes=1,
+        calc_in_gossip_stage=True,
+        recalc_storm=True,
+    )
+    c3831_fixed = replace(
+        c3831, bug_id="c3831-fixed", fixed=True,
+        title="CASSANDRA-3831 fix: O(M N^2 log^2 N) pending-range calculation",
+        variant=CalculatorVariant.V1_C3881, recalc_storm=False,
+    )
+    c3881 = BugConfig(
+        bug_id="c3881",
+        title="CASSANDRA-3881: the 3831 fix does not scale once vnodes "
+              "multiply N to N*P",
+        variant=CalculatorVariant.V1_C3881,
+        workload=Workload.SCALE_OUT,
+        vnodes=256,
+        calc_in_gossip_stage=True,
+        recalc_storm=True,
+    )
+    c3881_fixed = replace(
+        c3881, bug_id="c3881-fixed", fixed=True,
+        title="CASSANDRA-3881 fix: redesigned O(M NP log^2(NP)) calculation",
+        variant=CalculatorVariant.V2_VNODE_FIX, recalc_storm=False,
+    )
+    c5456 = BugConfig(
+        bug_id="c5456",
+        title="CASSANDRA-5456: coarse ring-table lock shared between gossip "
+              "processing and the pending-range calculation",
+        variant=CalculatorVariant.V2_VNODE_FIX,
+        workload=Workload.SCALE_OUT,
+        vnodes=256,
+        calc_in_gossip_stage=False,
+        lock_mode=LockMode.COARSE,
+        recalc_storm=True,
+    )
+    c5456_fixed = replace(
+        c5456, bug_id="c5456-fixed", fixed=True,
+        title="CASSANDRA-5456 fix: clone the ring table, release the lock early",
+        lock_mode=LockMode.CLONE,
+    )
+    c6127 = BugConfig(
+        bug_id="c6127",
+        title="CASSANDRA-6127: fresh bootstrap traverses an O(M N^2) "
+              "ring-construction path",
+        variant=CalculatorVariant.V2_VNODE_FIX,
+        workload=Workload.BOOTSTRAP,
+        vnodes=256,
+        calc_in_gossip_stage=True,
+        recalc_storm=True,
+        fresh_bootstrap_variant=CalculatorVariant.V3_BOOTSTRAP_C6127,
+    )
+    c6127_fixed = replace(
+        c6127, bug_id="c6127-fixed", fixed=True,
+        title="CASSANDRA-6127 fix: fresh bootstrap shares the incremental path",
+        fresh_bootstrap_variant=None, recalc_storm=False,
+    )
+    registry = {}
+    for config in (c3831, c3831_fixed, c3881, c3881_fixed,
+                   c5456, c5456_fixed, c6127, c6127_fixed):
+        registry[config.bug_id] = config
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def get_bug(bug_id: str) -> BugConfig:
+    """Look up a bug configuration by id (e.g. ``"c3831"``)."""
+    try:
+        return _REGISTRY[bug_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown bug {bug_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def all_bugs(include_fixed: bool = True) -> List[BugConfig]:
+    """All registered bug configurations, sorted by id."""
+    configs = sorted(_REGISTRY.values(), key=lambda c: c.bug_id)
+    if not include_fixed:
+        configs = [c for c in configs if not c.fixed]
+    return configs

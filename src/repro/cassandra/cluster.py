@@ -1,0 +1,316 @@
+"""Cluster assembly and the three scale-testing execution modes.
+
+The paper's Figure 1 and Figure 3 compare three ways of running the same
+N-node protocol test; :class:`Mode` makes them explicit:
+
+* ``Mode.REAL`` -- real-scale testing: every node gets its own
+  :class:`~repro.sim.cpu.DedicatedCpu` (2 cores, as on the paper's testbed).
+* ``Mode.COLO`` -- basic colocation: all nodes share one
+  :class:`~repro.sim.cpu.SharedCpu` machine (16 cores, 32 GB), so compute
+  stretches under contention and flap counts are distorted.
+* ``Mode.PIL`` -- PIL-infused replay: small live operations still share one
+  machine, but the offending calculations are replaced with contention-free
+  sleeps by a PIL executor (:mod:`repro.core.pil`).
+
+A :class:`Cluster` owns the simulator, network, nodes, and metric sinks and
+produces a :class:`~repro.cassandra.metrics.RunReport` when asked.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..sim.cpu import CpuModel, DedicatedCpu, SharedCpu
+from ..sim.kernel import Simulator
+from ..sim.memory import GB, MachineMemory, NodeMemoryProfile, OutOfMemoryError, single_process_profile
+from ..sim.network import LatencyModel, Network, OrderEnforcer
+from .bugs import BugConfig, get_bug
+from .gossip import GossipConfig
+from .metrics import CalcRecord, FlapCounter, RunReport
+from .node import (
+    CalcExecutor,
+    DirectExecutor,
+    Node,
+    NodeCosts,
+    SharedOutputCache,
+)
+from .pending_ranges import CostConstants
+from .tokens import tokens_for_node
+
+
+class Mode(str, Enum):
+    """Execution mode of a scale test (Figure 1's three panels, plus the
+    DieCast time-dilation baseline of section 4)."""
+
+    REAL = "real"
+    COLO = "colo"
+    PIL = "pil"
+    #: DieCast (Gupta et al., NSDI '08): colocate with a time-dilation
+    #: factor -- every node's CPU is rate-capped to 1/TDF of real speed and
+    #: all protocol timings stretch by TDF, so relative speeds (and hence
+    #: behaviour) match real scale at the price of TDF x longer tests.
+    DIECAST = "diecast"
+
+
+@dataclass
+class MachineSpec:
+    """The colocation host (defaults: the paper's Nome machine)."""
+
+    cores: int = 16
+    dram_bytes: int = 32 * GB
+    context_switch_coeff: float = 0.002
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build a cluster for one scenario run."""
+
+    bug: BugConfig
+    nodes: int
+    mode: Mode = Mode.REAL
+    rf: int = 3
+    seed: int = 42
+    node_cores: int = 2
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    gossip: GossipConfig = field(default_factory=GossipConfig)
+    costs: NodeCosts = field(default_factory=NodeCosts)
+    cost_constants: CostConstants = field(default_factory=CostConstants)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    #: Track memory on the colocation host (COLO/PIL modes).
+    track_memory: bool = True
+    #: DieCast time-dilation factor (only used in DIECAST mode).
+    time_dilation: float = 1.0
+    #: Attach the data path (read/write coordination) to every node.
+    enable_storage: bool = False
+    #: Node memory profile for COLO (one process per node).
+    memory_profile: NodeMemoryProfile = field(default_factory=NodeMemoryProfile)
+
+    @classmethod
+    def for_bug(cls, bug_id: str, nodes: int, mode: Mode = Mode.REAL,
+                **overrides) -> "ClusterConfig":
+        """For bug."""
+        return cls(bug=get_bug(bug_id), nodes=nodes, mode=mode, **overrides)
+
+
+def node_name(index: int) -> str:
+    """Canonical node id for ``index`` (``node-007`` style)."""
+    return f"node-{index:03d}"
+
+
+class Cluster:
+    """A simulated cluster plus all scale-check instrumentation hooks."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        executor: Optional[CalcExecutor] = None,
+        order_enforcer: Optional[OrderEnforcer] = None,
+    ) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.network = Network(self.sim, latency=config.latency,
+                               enforcer=order_enforcer)
+        self.flaps = FlapCounter()
+        self.calc_records: List[CalcRecord] = []
+        self.output_cache = SharedOutputCache()
+        self.executor = executor if executor is not None else DirectExecutor()
+        self.nodes: Dict[str, Node] = {}
+        self.crashed_for_oom: List[str] = []
+        self._shared_cpu: Optional[SharedCpu] = None
+        self.memory: Optional[MachineMemory] = None
+        if (config.mode in (Mode.COLO, Mode.PIL, Mode.DIECAST)
+                and config.track_memory):
+            self.memory = MachineMemory(config.machine.dram_bytes)
+        self._wall_started = 0.0
+        self.seeds = [node_name(i) for i in range(min(3, config.nodes))]
+        #: Virtual time the scenario's operation started (set by workloads).
+        self.op_started_at: Optional[float] = None
+        #: Virtual time the membership operation fully converged cluster-wide
+        #: (set by the workload's convergence monitor; None if censored).
+        self.converged_at: Optional[float] = None
+
+    # -- CPU placement ------------------------------------------------------------
+
+    def _cpu_for_node(self, node_id: str) -> CpuModel:
+        if self.config.mode is Mode.REAL:
+            return DedicatedCpu(self.sim, cores=self.config.node_cores,
+                                name=f"cpu:{node_id}")
+        if self.config.mode is Mode.DIECAST:
+            # Enforced per-node CPU share: 1/TDF of real speed.  No shared
+            # machine object -- the share enforcement *is* the isolation
+            # (validity requires N * node_cores / TDF <= machine cores).
+            return DedicatedCpu(self.sim, cores=self.config.node_cores,
+                                speed=1.0 / self.config.time_dilation,
+                                name=f"dilated:{node_id}")
+        if self._shared_cpu is None:
+            self._shared_cpu = SharedCpu(
+                self.sim,
+                cores=self.config.machine.cores,
+                context_switch_coeff=self.config.machine.context_switch_coeff,
+                name="colo-machine",
+            )
+        return self._shared_cpu
+
+    def _memory_profile(self) -> NodeMemoryProfile:
+        if self.config.mode is Mode.PIL:
+            # PIL replay runs the scale-checkable redesign: one process,
+            # shared event loop (paper section 6).
+            return single_process_profile(self.config.memory_profile)
+        return self.config.memory_profile
+
+    # -- node management ------------------------------------------------------------
+
+    def add_node(self, node_id: str, generation: int = 1) -> Node:
+        """Create (but do not start) a node."""
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node {node_id}")
+        node = Node(
+            sim=self.sim,
+            node_id=node_id,
+            network=self.network,
+            cpu=self._cpu_for_node(node_id),
+            seeds=self.seeds,
+            tokens=tuple(tokens_for_node(node_id, self.config.bug.vnodes)),
+            bug=self.config.bug,
+            flaps=self.flaps,
+            executor=self.executor,
+            output_cache=self.output_cache,
+            calc_records=self.calc_records,
+            rf=self.config.rf,
+            costs=self.config.costs,
+            cost_constants=self.config.cost_constants,
+            gossip_config=self.config.gossip,
+            generation=generation,
+            enable_storage=self.config.enable_storage,
+        )
+        self.nodes[node_id] = node
+        return node
+
+    def start_node(self, node: Node) -> bool:
+        """Start a node, charging its memory footprint on the colocation
+        host.  Returns False (node crashed) on OOM."""
+        if self.memory is not None:
+            profile = self._memory_profile()
+            try:
+                self.memory.allocate(node.node_id, profile.baseline(), "baseline")
+                self.memory.allocate(
+                    node.node_id,
+                    profile.ring_table(self.config.nodes, self.config.bug.vnodes),
+                    "ring-table",
+                )
+            except OutOfMemoryError:
+                self.crashed_for_oom.append(node.node_id)
+                self.network.deregister(node.node_id)
+                return False
+        node.start()
+        return True
+
+    def build_established(self) -> None:
+        """Create the initial N nodes as an established, converged cluster.
+
+        Every node already knows every other node's NORMAL state -- the
+        long-running-cluster starting point of the decommission and
+        scale-out scenarios.  Population goes through the normal state-
+        application path so ring tables and failure detectors are primed.
+        """
+        names = [node_name(i) for i in range(self.config.nodes)]
+        for name in names:
+            self.add_node(name)
+        for name in names:
+            self.nodes[name].establish_normal()
+        blobs = {
+            name: self.nodes[name].gossiper.own_state.to_blob() for name in names
+        }
+        for name in names:
+            node = self.nodes[name]
+            for other, blob in blobs.items():
+                if other != name:
+                    node.gossiper.populate(other, blob)
+            node._ring_dirty = False  # population is not a topology change
+        for name in names:
+            self.start_node(self.nodes[name])
+
+    def build_unjoined(self) -> None:
+        """Create N nodes that know only the seeds (fresh-bootstrap start)."""
+        names = [node_name(i) for i in range(self.config.nodes)]
+        for name in names:
+            self.add_node(name)
+        for name in names:
+            self.start_node(self.nodes[name])
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to virtual time ``until``."""
+        if self._wall_started == 0.0:
+            self._wall_started = _time.perf_counter()
+        self.sim.run(until=until)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def report(self, observe_from: float = 0.0) -> RunReport:
+        """Snapshot all metrics into a :class:`RunReport`.
+
+        ``observe_from`` excludes warm-up flaps (before the protocol under
+        test started) from the headline count.
+        """
+        events = [e for e in self.flaps.flaps if e.time >= observe_from]
+        cpus: List[CpuModel] = []
+        if self.config.mode is Mode.REAL:
+            cpus = [n.cpu for n in self.nodes.values()]
+        elif self._shared_cpu is not None:
+            cpus = [self._shared_cpu]
+        util = max((c.utilization() for c in cpus), default=0.0)
+        peak = max(
+            (getattr(c, "peak_utilization", 0.0) for c in cpus), default=0.0
+        )
+        stretches = [
+            c.mean_stretch() for c in cpus
+            if getattr(c, "completed_jobs", 0) > 0 and hasattr(c, "mean_stretch")
+        ]
+        stage_waits = [n.inbox.max_wait for n in self.nodes.values()]
+        mean_waits = [n.inbox.mean_wait() for n in self.nodes.values()]
+        lock_holds = [n.ring_lock.max_hold for n in self.nodes.values()]
+        lock_waits = [n.ring_lock.max_wait for n in self.nodes.values()]
+        memo_stats = getattr(self.executor, "stats", lambda: {})()
+        report = RunReport(
+            mode=self.config.mode.value,
+            bug=self.config.bug.bug_id,
+            nodes=self.config.nodes,
+            vnodes=self.config.bug.vnodes,
+            duration=self.sim.now,
+            flaps=len(events),
+            recoveries=self.flaps.recoveries,
+            flap_events=events,
+            calc_records=[r for r in self.calc_records if r.time >= observe_from],
+            messages_sent=self.network.sent,
+            messages_delivered=self.network.delivered,
+            cpu_utilization=util,
+            cpu_peak_utilization=peak,
+            mean_stretch=(sum(stretches) / len(stretches)) if stretches else 1.0,
+            max_stage_wait=max(stage_waits, default=0.0),
+            mean_stage_wait=(sum(mean_waits) / len(mean_waits)) if mean_waits else 0.0,
+            memory_peak_bytes=self.memory.peak if self.memory else 0,
+            oom_count=len(self.crashed_for_oom),
+            lock_max_hold=max(lock_holds, default=0.0),
+            lock_max_wait=max(lock_waits, default=0.0),
+            wall_seconds=(_time.perf_counter() - self._wall_started
+                          if self._wall_started else 0.0),
+            memo_hits=int(memo_stats.get("hits", 0)),
+            memo_misses=int(memo_stats.get("misses", 0)),
+        )
+        if self.op_started_at is not None:
+            # Protocol completion time: the DES analogue of the paper's
+            # run-duration comparison (memoization slow, replay ~ real).
+            # Censored at the observation window when never converged.
+            if self.converged_at is not None:
+                report.extra["protocol_time"] = (
+                    self.converged_at - self.op_started_at)
+                report.extra["converged"] = 1.0
+            else:
+                report.extra["protocol_time"] = self.sim.now - self.op_started_at
+                report.extra["converged"] = 0.0
+        return report

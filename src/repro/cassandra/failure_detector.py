@@ -1,0 +1,148 @@
+"""The phi accrual failure detector (Hayashibara et al., SRDS '04).
+
+Cassandra adopted the accrual detector for its scalable design (the paper's
+section 3 notes the irony: the *design* was proved scalable, but the proof
+"did not account gossip processing time during bootstrap/cluster-rescale").
+Each observed endpoint has a sliding window of heartbeat inter-arrival
+times; suspicion ``phi`` grows with time since the last arrival, scaled by
+the observed mean interval.  Conviction happens when phi crosses a threshold
+(Cassandra default: 8).
+
+The detector is *observer-local*: node X runs one instance and feeds it
+arrivals for every peer Y as gossip delivers fresher heartbeats about Y.
+When the gossip stage is wedged by a pending-range calculation, arrivals
+stop flowing, phi climbs, and X convicts perfectly healthy peers -- the
+flapping mechanism of every bug in the paper's section 2.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+#: Cassandra's PHI_FACTOR: 1 / ln(10).  With an exponential arrival model,
+#: phi = -log10(P(no arrival for t)) = t / (mean * ln 10).
+PHI_FACTOR = 1.0 / math.log(10.0)
+
+#: Cassandra's default conviction threshold.
+DEFAULT_PHI_THRESHOLD = 8.0
+
+#: Default sliding-window size (Cassandra: 1000 samples).
+DEFAULT_WINDOW_SIZE = 1000
+
+
+class ArrivalWindow:
+    """Sliding window of heartbeat inter-arrival intervals for one endpoint."""
+
+    def __init__(self, size: int = DEFAULT_WINDOW_SIZE,
+                 bootstrap_interval: float = 1.0) -> None:
+        self._intervals: Deque[float] = deque(maxlen=size)
+        self._interval_sum = 0.0
+        self._last_arrival: Optional[float] = None
+        # Cassandra seeds the window with half the expected gossip interval
+        # so a freshly discovered endpoint is not instantly suspicious.
+        self._bootstrap_interval = bootstrap_interval / 2.0
+
+    @property
+    def last_arrival(self) -> Optional[float]:
+        """Time of the most recent heartbeat arrival, if any."""
+        return self._last_arrival
+
+    def add(self, now: float) -> None:
+        """Record a heartbeat arrival at ``now``."""
+        if self._last_arrival is None:
+            interval = self._bootstrap_interval
+        else:
+            interval = now - self._last_arrival
+            if interval < 0:
+                raise ValueError("arrival time went backwards")
+        self._last_arrival = now
+        if len(self._intervals) == self._intervals.maxlen:
+            self._interval_sum -= self._intervals[0]
+        self._intervals.append(interval)
+        self._interval_sum += interval
+
+    def mean(self) -> float:
+        """Mean inter-arrival interval over the window."""
+        if not self._intervals:
+            return self._bootstrap_interval
+        return self._interval_sum / len(self._intervals)
+
+    def phi(self, now: float) -> float:
+        """Current suspicion level; 0 if no arrival has ever been seen."""
+        if self._last_arrival is None:
+            return 0.0
+        mean = max(self.mean(), 1e-9)
+        return PHI_FACTOR * (now - self._last_arrival) / mean
+
+    def sample_count(self) -> int:
+        """Number of intervals currently in the window."""
+        return len(self._intervals)
+
+
+@dataclass
+class FailureDetectorStats:
+    """Counters for analysis and tests."""
+
+    reports: int = 0
+    convictions: int = 0
+    max_phi_seen: float = 0.0
+
+
+class PhiAccrualFailureDetector:
+    """Observer-local accrual detector over many endpoints."""
+
+    def __init__(
+        self,
+        phi_threshold: float = DEFAULT_PHI_THRESHOLD,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        expected_interval: float = 1.0,
+    ) -> None:
+        self.phi_threshold = phi_threshold
+        self.window_size = window_size
+        self.expected_interval = expected_interval
+        self._windows: Dict[str, ArrivalWindow] = {}
+        self.stats = FailureDetectorStats()
+
+    def _window(self, endpoint: str) -> ArrivalWindow:
+        if endpoint not in self._windows:
+            self._windows[endpoint] = ArrivalWindow(
+                size=self.window_size, bootstrap_interval=self.expected_interval
+            )
+        return self._windows[endpoint]
+
+    def report(self, endpoint: str, now: float) -> None:
+        """Feed one heartbeat arrival for ``endpoint``."""
+        self.stats.reports += 1
+        self._window(endpoint).add(now)
+
+    def phi(self, endpoint: str, now: float) -> float:
+        """Current suspicion level for ``endpoint`` at time ``now``."""
+        window = self._windows.get(endpoint)
+        if window is None:
+            return 0.0
+        value = window.phi(now)
+        self.stats.max_phi_seen = max(self.stats.max_phi_seen, value)
+        return value
+
+    def should_convict(self, endpoint: str, now: float) -> bool:
+        """True when suspicion for ``endpoint`` exceeds the threshold."""
+        convict = self.phi(endpoint, now) > self.phi_threshold
+        if convict:
+            self.stats.convictions += 1
+        return convict
+
+    def forget(self, endpoint: str) -> None:
+        """Drop all state for a departed endpoint."""
+        self._windows.pop(endpoint, None)
+
+    def known_endpoints(self) -> List[str]:
+        """All endpoints with recorded state, sorted."""
+        return sorted(self._windows)
+
+    def mean_interval(self, endpoint: str) -> float:
+        """Mean heartbeat inter-arrival for ``endpoint`` (NaN if unknown)."""
+        window = self._windows.get(endpoint)
+        return window.mean() if window else float("nan")

@@ -1,0 +1,315 @@
+"""The anti-entropy gossip protocol (SYN / ACK / ACK2), Cassandra style.
+
+Once per second each node increments its heartbeat and exchanges state
+digests with a random live peer (occasionally also a seed or a dead peer, to
+heal partitions and detect recoveries).  Endpoint states converge through
+delta exchange; every fresher heartbeat observed for a peer is reported to
+the local phi-accrual failure detector.
+
+The scalability-bug coupling: *applying* gossip happens on the single-
+threaded gossip stage.  Anything slow on that stage (a pending-range
+calculation, or waiting on the shared ring lock) delays heartbeat
+application for every peer at once, inflating phi across the board -- which
+is why one O(N^3) computation can make a node convict hundreds of healthy
+peers (section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim.rng import SplittableRng
+from .failure_detector import PhiAccrualFailureDetector
+from .metrics import FlapCounter
+from .state import (
+    STATUS,
+    STATUS_LEFT,
+    EndpointState,
+    GossipDigest,
+    HeartBeatState,
+    VersionGenerator,
+    VersionedValue,
+    blob_entry_count,
+    make_digests,
+)
+
+# Message kinds on the wire.
+SYN = "gossip-syn"
+ACK = "gossip-ack"
+ACK2 = "gossip-ack2"
+
+#: Probability of additionally gossiping to a seed / an unreachable node per
+#: round (Cassandra gossips to seeds and dead nodes probabilistically).
+SEED_GOSSIP_PROBABILITY = 0.1
+DEAD_GOSSIP_PROBABILITY = 0.1
+
+
+@dataclass
+class GossipConfig:
+    interval: float = 1.0
+    phi_threshold: float = 8.0
+    fd_window: int = 1000
+    seed_probability: float = SEED_GOSSIP_PROBABILITY
+    dead_probability: float = DEAD_GOSSIP_PROBABILITY
+
+
+class Gossiper:
+    """One node's gossip engine.
+
+    Pure protocol logic: no simulator imports.  The owner wires in ``send``
+    (deliver a message), ``now`` (virtual clock), and ``on_status_change``
+    (membership hook: ring updates and pending-range triggers).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        generation: int,
+        seeds: Sequence[str],
+        rng: SplittableRng,
+        send: Callable[[str, str, object], None],
+        now: Callable[[], float],
+        flaps: FlapCounter,
+        config: Optional[GossipConfig] = None,
+        on_status_change: Optional[Callable[[str, str, EndpointState], None]] = None,
+        on_restart: Optional[Callable[[str, EndpointState], None]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.seeds = [s for s in seeds if s != node_id]
+        self.rng = rng
+        self._send = send
+        self._now = now
+        self.flaps = flaps
+        self.config = config or GossipConfig()
+        self.on_status_change = on_status_change
+        self.on_restart = on_restart
+        self.versions = VersionGenerator()
+        self.fd = PhiAccrualFailureDetector(
+            phi_threshold=self.config.phi_threshold,
+            window_size=self.config.fd_window,
+            expected_interval=self.config.interval,
+        )
+        self.endpoint_state_map: Dict[str, EndpointState] = {}
+        self.live_endpoints: Set[str] = set()
+        self.unreachable_endpoints: Set[str] = set()
+        self._rng_stream = f"gossip:{node_id}"
+        self.rounds = 0
+        self.states_applied = 0
+        self._init_own_state(generation)
+
+    # -- local state ------------------------------------------------------------
+
+    def _init_own_state(self, generation: int) -> None:
+        self.endpoint_state_map[self.node_id] = EndpointState(
+            heartbeat=HeartBeatState(generation=generation),
+            update_timestamp=self._now(),
+        )
+
+    @property
+    def own_state(self) -> EndpointState:
+        """This node's own endpoint state."""
+        return self.endpoint_state_map[self.node_id]
+
+    def set_app_state(self, key: str, value: str, payload: Optional[tuple] = None) -> None:
+        """Publish one of our own application states (STATUS, TOKENS, ...)."""
+        self.own_state.app_states[key] = VersionedValue(
+            value, self.versions.next(), payload
+        )
+
+    def populate(self, endpoint: str, blob: tuple) -> None:
+        """Pre-seed knowledge of a peer (established-cluster scenarios).
+
+        Bypasses the wire but uses the same application path, so status
+        handlers and the failure detector see a normal join.
+        """
+        self._apply_state(endpoint, blob)
+
+    # -- gossip round -------------------------------------------------------------
+
+    def do_round(self) -> List[str]:
+        """One gossip tick: beat, pick targets, send SYNs.
+
+        Returns the targets chosen (for tests and traces).
+        """
+        self.rounds += 1
+        self.own_state.heartbeat.beat(self.versions)
+        self.own_state.update_timestamp = self._now()
+        targets: List[str] = []
+        live = [e for e in self.live_endpoints if e != self.node_id]
+        if live:
+            targets.append(self.rng.choice(self._rng_stream, sorted(live)))
+        dead = sorted(self.unreachable_endpoints)
+        if dead and self.rng.random(self._rng_stream) < self.config.dead_probability:
+            targets.append(self.rng.choice(self._rng_stream, dead))
+        gossiped_to_seed = any(t in self.seeds for t in targets)
+        if self.seeds and not gossiped_to_seed and (
+            not live or self.rng.random(self._rng_stream) < self.config.seed_probability
+        ):
+            targets.append(self.rng.choice(self._rng_stream, self.seeds))
+        digests = make_digests(self.endpoint_state_map)
+        for target in targets:
+            self._send(target, SYN, digests)
+        return targets
+
+    # -- message handling -----------------------------------------------------------
+
+    def handle_message(self, kind: str, payload, src: str) -> int:
+        """Process one gossip message; returns entry count for CPU costing."""
+        if kind == SYN:
+            return self._handle_syn(payload, src)
+        if kind == ACK:
+            return self._handle_ack(payload, src)
+        if kind == ACK2:
+            return self._handle_ack2(payload, src)
+        raise ValueError(f"unknown gossip message kind {kind!r}")
+
+    def _handle_syn(self, digests: List[GossipDigest], src: str) -> int:
+        send_states: Dict[str, tuple] = {}
+        requests: List[Tuple[str, int]] = []
+        seen = set()
+        for digest in digests:
+            seen.add(digest.endpoint)
+            local = self.endpoint_state_map.get(digest.endpoint)
+            if local is None:
+                requests.append((digest.endpoint, 0))
+                continue
+            local_version = local.max_version()
+            local_generation = local.heartbeat.generation
+            if digest.generation > local_generation:
+                requests.append((digest.endpoint, 0))
+            elif digest.generation < local_generation:
+                send_states[digest.endpoint] = local.to_blob()
+            elif digest.max_version > local_version:
+                requests.append((digest.endpoint, local_version))
+            elif digest.max_version < local_version:
+                send_states[digest.endpoint] = local.delta_blob(digest.max_version)
+        # Endpoints the sender has never heard of.
+        for endpoint, local in self.endpoint_state_map.items():
+            if endpoint not in seen:
+                send_states[endpoint] = local.to_blob()
+        self._send(src, ACK, (send_states, requests))
+        return len(digests) + sum(blob_entry_count(b) for b in send_states.values())
+
+    def _handle_ack(self, payload, src: str) -> int:
+        send_states, requests = payload
+        entries = 0
+        for endpoint, blob in send_states.items():
+            entries += blob_entry_count(blob)
+            self._apply_state(endpoint, blob)
+        reply: Dict[str, tuple] = {}
+        for endpoint, newer_than in requests:
+            local = self.endpoint_state_map.get(endpoint)
+            if local is not None:
+                reply[endpoint] = local.delta_blob(newer_than)
+        if reply:
+            self._send(src, ACK2, reply)
+        return entries + len(requests)
+
+    def _handle_ack2(self, payload, src: str) -> int:
+        entries = 0
+        for endpoint, blob in payload.items():
+            entries += blob_entry_count(blob)
+            self._apply_state(endpoint, blob)
+        return entries
+
+    # -- state application -------------------------------------------------------------
+
+    def _apply_state(self, endpoint: str, blob: tuple) -> None:
+        if endpoint == self.node_id:
+            return
+        generation, hb_version, app_items = blob
+        now = self._now()
+        local = self.endpoint_state_map.get(endpoint)
+        if local is None or generation > local.heartbeat.generation:
+            restarted = local is not None
+            state = EndpointState.from_blob(blob, now)
+            self.endpoint_state_map[endpoint] = state
+            self.states_applied += 1
+            self.fd.report(endpoint, now)
+            self._mark_alive(endpoint, state)
+            if restarted and self.on_restart is not None:
+                self.on_restart(endpoint, state)
+            for key, value, __, ___ in app_items:
+                if key == STATUS:
+                    self._notify_status(endpoint, value, state)
+            return
+        if generation < local.heartbeat.generation:
+            return  # stale incarnation
+        if hb_version > local.heartbeat.version:
+            local.heartbeat.version = hb_version
+            local.update_timestamp = now
+            self.states_applied += 1
+            self.fd.report(endpoint, now)
+            self._mark_alive(endpoint, local)
+        # Apply every app-state value before firing STATUS notifications:
+        # a BOOT/NORMAL handler needs the TOKENS entry riding in the same
+        # blob, and key-sorted application would otherwise deliver STATUS
+        # first (real Cassandra orders ApplicationState handling the same
+        # way for the same reason).
+        status_changes = []
+        for key, value, version, item_payload in app_items:
+            existing = local.app_states.get(key)
+            if existing is None or version > existing.version:
+                local.app_states[key] = VersionedValue(value, version, item_payload)
+                if key == STATUS:
+                    status_changes.append(value)
+        for value in status_changes:
+            self._notify_status(endpoint, value, local)
+
+    def _notify_status(self, endpoint: str, status: str, state: EndpointState) -> None:
+        if status == STATUS_LEFT:
+            # departed nodes are no longer gossip targets or conviction subjects
+            self.live_endpoints.discard(endpoint)
+            self.unreachable_endpoints.discard(endpoint)
+            self.fd.forget(endpoint)
+        if self.on_status_change is not None:
+            self.on_status_change(endpoint, status, state)
+
+    # -- liveness -------------------------------------------------------------------------
+
+    def _mark_alive(self, endpoint: str, state: EndpointState) -> None:
+        if state.status() == STATUS_LEFT:
+            return
+        if endpoint in self.unreachable_endpoints:
+            self.unreachable_endpoints.discard(endpoint)
+            self.live_endpoints.add(endpoint)
+            state.alive = True
+            self.flaps.record_recovery(self._now(), self.node_id, endpoint)
+        elif endpoint not in self.live_endpoints:
+            self.live_endpoints.add(endpoint)
+            state.alive = True
+
+    def check_convictions(self) -> List[str]:
+        """FD sweep: convict peers whose phi exceeds the threshold.
+
+        Runs on its own periodic task (Cassandra's GossipTasks thread), so it
+        keeps firing even while the gossip stage is wedged -- convicting
+        peers precisely because the stage has not applied their heartbeats.
+        Returns the endpoints convicted this sweep.
+        """
+        now = self._now()
+        convicted: List[str] = []
+        for endpoint in sorted(self.live_endpoints):
+            if endpoint == self.node_id:
+                continue
+            state = self.endpoint_state_map.get(endpoint)
+            if state is None or state.status() == STATUS_LEFT:
+                continue
+            if self.fd.should_convict(endpoint, now):
+                self.live_endpoints.discard(endpoint)
+                self.unreachable_endpoints.add(endpoint)
+                state.alive = False
+                self.flaps.record_conviction(now, self.node_id, endpoint)
+                convicted.append(endpoint)
+        return convicted
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def known_endpoints(self) -> List[str]:
+        """All endpoints with recorded state, sorted."""
+        return sorted(self.endpoint_state_map)
+
+    def live_count(self) -> int:
+        """Number of peers currently believed alive."""
+        return len(self.live_endpoints)

@@ -1,0 +1,241 @@
+"""Literal "offending function" implementations of the pending-range logic.
+
+These are the naive, loop-heavy versions of the calculation, written the way
+the buggy Cassandra code was structured: scale-dependent loops *spanning
+many small functions* (in CASSANDRA-6127 the O(N^3) nest spanned 1000+ LOC
+across 9 functions) with the expensive fresh-bootstrap path hidden behind an
+if-branch that only a bootstrap-from-scratch workload reaches.
+
+They serve three purposes in this reproduction:
+
+1. **Program-analysis corpus**: the finder (:mod:`repro.core.finder`) is
+   pointed at this module and must discover the cross-function
+   scale-dependent loop nests and the branch-guarded bootstrap path.
+2. **Differential oracle**: property tests check that, at small scales,
+   every function here produces output identical to the efficient
+   :func:`repro.cassandra.pending_ranges.compute_pending_ranges`.
+3. **Honest cost demonstrations**: micro-benchmarks run these at growing N
+   to show the real superlinear blow-up that the cost model abstracts.
+
+Everything here is deliberately inefficient -- linear scans where a bisect
+would do, list membership tests where a set would do ("developers sometimes
+write simple, but inefficient and space-oblivious code", section 6).  Do not
+"fix" it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..annotations import scale_dependent
+from .ring import TokenMetadata
+from .tokens import TokenRange
+
+# Step (a) of the paper's workflow: the developer annotates the structures
+# whose size tracks cluster scale.  This is the complete annotation set for
+# the Cassandra model -- well under the paper's <30 LOC budget.
+scale_dependent(
+    "token_to_endpoint",
+    "bootstrap_tokens",
+    "leaving_endpoints",
+    note="ring table membership state (TokenMetadata)",
+)
+scale_dependent(
+    "endpoint_state_map",
+    note="gossip endpoint state map (Gossiper)",
+)
+
+
+def calculate_pending_ranges_legacy(
+    metadata: TokenMetadata, rf: int
+) -> Dict[str, List[TokenRange]]:
+    """Entry point mirroring ``StorageService.calculatePendingRanges``.
+
+    The fresh-bootstrap branch below is the CASSANDRA-6127 path: it is only
+    exercised when a cluster bootstraps from scratch (no established normal
+    ownership), which is why 500-node-bootstrap customers hit a bug that
+    gradual-growth testing never sees.
+    """
+    if rf <= 0:
+        raise ValueError("replication factor must be positive")
+    if not metadata.has_pending_changes():
+        return {}
+    if _is_fresh_bootstrap(metadata):
+        # Branch-guarded expensive path (C6127): fresh ring construction.
+        return _fresh_ring_construction(metadata, rf)
+    return _incremental_update(metadata, rf)
+
+
+def _is_fresh_bootstrap(metadata: TokenMetadata) -> bool:
+    """True when the cluster has no established ring yet (C6127 trigger)."""
+    survivors = [
+        endpoint
+        for endpoint in metadata.token_to_endpoint.values()
+        if endpoint not in metadata.leaving_endpoints
+    ]
+    return len(survivors) == 0 and len(metadata.bootstrap_tokens) > 0
+
+
+def _fresh_ring_construction(
+    metadata: TokenMetadata, rf: int
+) -> Dict[str, List[TokenRange]]:
+    """Fresh ring/key-range construction: O(M * T^2) over tokens T.
+
+    Every bootstrap token's range must be computed against the full future
+    ring via linear scans -- the nested scale-dependent loop the finder must
+    attribute to this branch.
+    """
+    current_tokens, __ = _sorted_ring_items(metadata.token_to_endpoint)
+    future_tokens, future_owners = _merged_future_ring(metadata)
+    boundaries = _merge_boundaries(current_tokens, future_tokens)
+    pending: Dict[str, List[TokenRange]] = {}
+    for index in range(len(boundaries)):               # loop 1: all boundaries
+        token = boundaries[index]
+        rng = _range_ending_at(boundaries, index)
+        replicas = _natural_endpoints_scan(
+            future_tokens, future_owners, token, rf    # loop 2 inside
+        )
+        for endpoint in replicas:                      # loop 3 (bounded by rf)
+            _append_pending(pending, endpoint, rng)
+    return _sorted_pending(pending)
+
+
+def _incremental_update(
+    metadata: TokenMetadata, rf: int
+) -> Dict[str, List[TokenRange]]:
+    """Per-change recomputation: the pre-3831-fix structure.
+
+    For every boundary of the merged current+future ring (replica sets are
+    only piecewise-constant between the *union* of both boundary sets),
+    diff current vs future replica sets with linear-scan placement -- an
+    O(T^2) walk that the 3831-era code additionally repeated per change in
+    the gossip message (the M factor).
+    """
+    current_tokens, current_owners = _sorted_ring_items(metadata.token_to_endpoint)
+    future_tokens, future_owners = _merged_future_ring(metadata)
+    boundaries = _merge_boundaries(current_tokens, future_tokens)
+    pending: Dict[str, List[TokenRange]] = {}
+    for index in range(len(boundaries)):               # loop 1: all boundaries
+        token = boundaries[index]
+        rng = _range_ending_at(boundaries, index)
+        gained = _replica_diff_for_token(
+            current_tokens, current_owners,
+            future_tokens, future_owners, token, rf,
+        )
+        for endpoint in gained:
+            _append_pending(pending, endpoint, rng)
+    return _sorted_pending(pending)
+
+
+def _merge_boundaries(current_tokens: List[int],
+                      future_tokens: List[int]) -> List[int]:
+    """Union of both rings' token boundaries (naive list-scan dedup)."""
+    merged = list(current_tokens)
+    for token in future_tokens:
+        if token not in merged:                        # list scan, not a set
+            merged.append(token)
+    return sorted(merged)
+
+
+def _replica_diff_for_token(
+    current_tokens: List[int],
+    current_owners: List[str],
+    future_tokens: List[int],
+    future_owners: List[str],
+    token: int,
+    rf: int,
+) -> List[str]:
+    """Endpoints that replicate ``token``'s range in the future but not now."""
+    future_replicas = _natural_endpoints_scan(future_tokens, future_owners, token, rf)
+    current_replicas = _natural_endpoints_scan(current_tokens, current_owners, token, rf)
+    gained = []
+    for endpoint in future_replicas:
+        if endpoint not in current_replicas:           # list scan, not a set
+            gained.append(endpoint)
+    return gained
+
+
+def _natural_endpoints_scan(
+    tokens: List[int], owners: List[str], token: int, rf: int
+) -> List[str]:
+    """SimpleStrategy placement via linear scan: O(T) per call.
+
+    The efficient implementation uses bisect; the historical code repeated
+    scans like this one inside outer per-token loops, producing the
+    super-quadratic totals of the bug reports.
+    """
+    if not tokens:
+        return []
+    start = _successor_scan(tokens, token)
+    ordered = []
+    for step in range(len(tokens)):                    # loop over ring
+        ordered.append(owners[(start + step) % len(tokens)])
+    return _collect_distinct(ordered, rf)
+
+
+def _successor_scan(tokens: Sequence[int], token: int) -> int:
+    """Index of the first token >= ``token``, by linear scan."""
+    for index in range(len(tokens)):                   # loop over ring
+        if tokens[index] >= token:
+            return index
+    return 0
+
+
+def _collect_distinct(ordered: Sequence[str], rf: int) -> List[str]:
+    """First ``rf`` distinct endpoints of a clockwise walk."""
+    result: List[str] = []
+    for endpoint in ordered:
+        if endpoint not in result:                     # list scan, not a set
+            result.append(endpoint)
+            if len(result) == rf:
+                break
+    return result
+
+
+def _merged_future_ring(metadata: TokenMetadata) -> Tuple[List[int], List[str]]:
+    """The ring after in-flight operations complete, as parallel lists."""
+    merged: Dict[int, str] = {}
+    for token, endpoint in metadata.token_to_endpoint.items():
+        leaving = False
+        for candidate in metadata.leaving_endpoints:   # membership by scan
+            if candidate == endpoint:
+                leaving = True
+                break
+        if not leaving:
+            merged[token] = endpoint
+    for token, endpoint in metadata.bootstrap_tokens.items():
+        merged[token] = endpoint
+    return _sorted_ring_items(merged)
+
+
+def _sorted_ring_items(mapping: Dict[int, str]) -> Tuple[List[int], List[str]]:
+    """Token-sorted parallel (tokens, owners) lists."""
+    tokens: List[int] = []
+    owners: List[str] = []
+    for token in sorted(mapping):
+        tokens.append(token)
+        owners.append(mapping[token])
+    return tokens, owners
+
+
+def _range_ending_at(tokens: List[int], index: int) -> TokenRange:
+    """The primary range owned by ``tokens[index]``."""
+    if len(tokens) == 1:
+        return TokenRange(tokens[0], tokens[0])
+    return TokenRange(tokens[(index - 1) % len(tokens)], tokens[index])
+
+
+def _append_pending(
+    pending: Dict[str, List[TokenRange]], endpoint: str, rng: TokenRange
+) -> None:
+    if endpoint not in pending:
+        pending[endpoint] = []
+    pending[endpoint].append(rng)
+
+
+def _sorted_pending(
+    pending: Dict[str, List[TokenRange]]
+) -> Dict[str, List[TokenRange]]:
+    for ranges in pending.values():
+        ranges.sort()
+    return pending

@@ -1,0 +1,134 @@
+"""Cluster-wide observability: flap counting and experiment reports.
+
+The paper's headline metric (Figure 3) is the total number of *flaps*
+observed in the whole cluster during a protocol test, where a flap is one
+node marking a live peer as down (an alive-to-dead transition in some
+observer's view).  We count exactly that, plus the supporting statistics
+used for accuracy comparisons and colocation-bottleneck detection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FlapEvent:
+    """Observer ``observer`` marked ``target`` down at virtual ``time``."""
+
+    time: float
+    observer: str
+    target: str
+
+
+class FlapCounter:
+    """Cluster-global record of up->down transitions (and recoveries)."""
+
+    def __init__(self) -> None:
+        self.flaps: List[FlapEvent] = []
+        self.recoveries = 0
+
+    def record_conviction(self, time: float, observer: str, target: str) -> None:
+        """Count one alive-to-dead transition (a flap)."""
+        self.flaps.append(FlapEvent(time=time, observer=observer, target=target))
+
+    def record_recovery(self, time: float, observer: str, target: str) -> None:
+        """Count one dead-to-alive recovery."""
+        self.recoveries += 1
+
+    @property
+    def total(self) -> int:
+        """Total flaps recorded."""
+        return len(self.flaps)
+
+    def by_observer(self) -> Dict[str, int]:
+        """Flap counts grouped by the observing node."""
+        return dict(Counter(event.observer for event in self.flaps))
+
+    def by_target(self) -> Dict[str, int]:
+        """Flap counts grouped by the convicted node."""
+        return dict(Counter(event.target for event in self.flaps))
+
+    def in_window(self, start: float, end: float) -> int:
+        """Flaps recorded in the half-open window [start, end)."""
+        return sum(1 for event in self.flaps if start <= event.time < end)
+
+    def first_flap_time(self) -> Optional[float]:
+        """Time of the first flap, or None."""
+        return self.flaps[0].time if self.flaps else None
+
+
+@dataclass
+class CalcRecord:
+    """One pending-range calculation: who ran it, how long it took."""
+
+    time: float
+    node: str
+    variant: str
+    input_key: str
+    demand: float       # intrinsic CPU seconds
+    elapsed: float      # virtual seconds actually taken (contention included)
+    changes: int
+
+
+@dataclass
+class RunReport:
+    """Everything a scenario run produces, for figures and assertions."""
+
+    mode: str                    # "real" | "colo" | "pil"
+    bug: str
+    nodes: int
+    vnodes: int
+    duration: float              # virtual seconds simulated
+    flaps: int
+    recoveries: int
+    flap_events: List[FlapEvent] = field(default_factory=list)
+    calc_records: List[CalcRecord] = field(default_factory=list)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    cpu_utilization: float = 0.0
+    cpu_peak_utilization: float = 0.0
+    mean_stretch: float = 1.0
+    max_stage_wait: float = 0.0   # worst gossip-stage queueing delay
+    mean_stage_wait: float = 0.0
+    memory_peak_bytes: int = 0
+    oom_count: int = 0
+    lock_max_hold: float = 0.0
+    lock_max_wait: float = 0.0
+    wall_seconds: float = 0.0     # host wall-clock cost of the run
+    memo_hits: int = 0
+    memo_misses: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def calc_duration_range(self) -> Tuple[float, float]:
+        """(min, max) intrinsic calc demand observed; (0, 0) if none ran."""
+        if not self.calc_records:
+            return (0.0, 0.0)
+        demands = [record.demand for record in self.calc_records]
+        return (min(demands), max(demands))
+
+    def total_calc_demand(self) -> float:
+        """Sum of intrinsic calculation demand (seconds)."""
+        return sum(record.demand for record in self.calc_records)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        low, high = self.calc_duration_range()
+        return (
+            f"[{self.mode:>4}] {self.bug} N={self.nodes} P={self.vnodes}: "
+            f"{self.flaps} flaps, {len(self.calc_records)} calcs "
+            f"(demand {low:.3f}-{high:.3f}s), "
+            f"util {self.cpu_utilization:.0%}, stretch {self.mean_stretch:.2f}, "
+            f"max stage wait {self.max_stage_wait:.2f}s"
+        )
+
+
+def accuracy_error(real: RunReport, other: RunReport) -> float:
+    """Relative flap-count error of ``other`` against the real-scale run.
+
+    Uses a symmetric denominator so zero-flap small-scale points do not
+    blow up: |a - b| / max(a, b, 1).
+    """
+    return abs(real.flaps - other.flaps) / max(real.flaps, other.flaps, 1)

@@ -1,0 +1,176 @@
+"""Pending key-range calculation, in every historical flavor.
+
+When membership changes are in flight (nodes bootstrapping or leaving), each
+node computes *pending ranges*: for every endpoint, the token ranges it will
+newly replicate once the change completes.  This is Cassandra's
+``calculatePendingRanges`` -- the function at the center of the paper's bug
+narrative (section 2):
+
+* CASSANDRA-3831: the original implementation is O(M * N^3 * log^3 N) in
+  cluster size N and change-list length M; at 200+ nodes it monopolizes the
+  GossipStage and live nodes get declared dead.
+* The 3831 fix brought it to O(M * N^2 * log^2 N) -- but vnodes
+  (CASSANDRA-3881) multiply the token population to N*P, so the same code
+  became O(M * (NP)^2 * log^2(NP)) and broke again.
+* The 3881 redesign achieves O(M * NP * log^2(NP)).
+* CASSANDRA-6127: bootstrapping a large cluster *from scratch* takes a
+  different, branch-guarded code path that performs a fresh ring
+  construction with O(M * T^2) cost.
+
+This module provides one *semantically correct* computation
+(:func:`compute_pending_ranges`) plus a cost model
+(:class:`CalculatorVariant`, :func:`calc_cost`) that charges each historical
+variant's complexity in virtual time.  The simulator executes the efficient
+code for the output (outputs are identical across variants -- that is what
+made the fixes possible) while the CPU model is charged the variant's cost.
+Literal naive-loop implementations, used as the program-analysis corpus and
+as differential-test oracles, live in :mod:`repro.cassandra.legacy_calc`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from .ring import TokenMetadata
+from .tokens import TokenRange
+
+
+def compute_pending_ranges(metadata: TokenMetadata, rf: int) -> Dict[str, List[TokenRange]]:
+    """Correct pending-range computation (reference implementation).
+
+    Replica sets are piecewise-constant between ring-token boundaries, but
+    the *current* and *future* rings have different boundary sets (a
+    leaving node's tokens exist only in the current ring, a bootstrapping
+    node's only in the future one).  Diffing at the **union** of both
+    boundary sets is therefore required: evaluating only at future
+    boundaries silently misses the sub-ranges a departing token used to
+    delimit (keys previously owned by a leaving node would get no pending
+    gainer).  For every union sub-range, any endpoint replicating it in
+    the future but not today gains it as a pending range.
+
+    Pure function of ring content: same input content hash => same output,
+    which is exactly the memoizability property PIL relies on.
+    """
+    if rf <= 0:
+        raise ValueError("replication factor must be positive")
+    if not metadata.has_pending_changes():
+        return {}
+    current = metadata.ring()
+    future = metadata.future_ring()
+    if not future:
+        return {}
+    boundaries = sorted(set(current.tokens) | set(future.tokens))
+    pending: Dict[str, List[TokenRange]] = {}
+    n = len(boundaries)
+    for i in range(n):
+        token = boundaries[i]
+        left = boundaries[(i - 1) % n] if n > 1 else token
+        rng = TokenRange(left, token)
+        future_replicas = future.natural_endpoints(token, rf)
+        current_replicas = set(current.natural_endpoints(token, rf)) if current else set()
+        for endpoint in future_replicas:
+            if endpoint not in current_replicas:
+                pending.setdefault(endpoint, []).append(rng)
+    for ranges in pending.values():
+        ranges.sort()
+    return pending
+
+
+class CalculatorVariant(str, Enum):
+    """Historical implementations of the pending-range calculation."""
+
+    #: Pre-3831-fix: O(M * N^3 * log^3 N), N = physical nodes.
+    V0_C3831 = "v0-c3831"
+    #: The 3831 fix: O(M * T^2 * log^2 T), T = tokens.  With vnodes
+    #: (T = N*P) this is the CASSANDRA-3881 bug.
+    V1_C3881 = "v1-c3881"
+    #: The 3881 redesign: O(M * T * log^2 T).
+    V2_VNODE_FIX = "v2-vnode-fix"
+    #: The CASSANDRA-6127 fresh-bootstrap path: O(M * T^2).
+    V3_BOOTSTRAP_C6127 = "v3-bootstrap-c6127"
+
+
+@dataclass
+class CostConstants:
+    """Per-variant cost coefficients (virtual seconds per abstract op).
+
+    Defaults are calibrated so that per-invocation durations land in the
+    paper's observed 0.001s-4s band across 32-256 nodes (section 3: "ranges
+    from 0.001 to 4 seconds in our test").  The benchmark calibration module
+    may override them.
+    """
+
+    k0_c3831: float = 4.5e-10
+    k1_c3881: float = 3.0e-12
+    k2_vnode_fix: float = 2.0e-8
+    k3_bootstrap: float = 7.0e-13
+    #: Floor so a calculation is never free (parsing, allocation, ...).
+    floor: float = 1e-4
+
+
+DEFAULT_COSTS = CostConstants()
+
+
+def _log2(x: int) -> float:
+    return math.log2(x) if x >= 2 else 1.0
+
+
+def calc_cost(
+    variant: CalculatorVariant,
+    nodes: int,
+    tokens: int,
+    changes: int,
+    constants: CostConstants = DEFAULT_COSTS,
+) -> float:
+    """Virtual-time CPU demand of one calculation.
+
+    Parameters mirror the complexity formulas: ``nodes`` is the physical
+    cluster size N, ``tokens`` the ring token population T (= N*P with
+    vnodes), ``changes`` the length M of the in-flight change list.
+    """
+    nodes = max(1, nodes)
+    tokens = max(1, tokens)
+    m = max(1, changes)
+    if variant is CalculatorVariant.V0_C3831:
+        cost = constants.k0_c3831 * m * nodes ** 3 * _log2(nodes) ** 3
+    elif variant is CalculatorVariant.V1_C3881:
+        cost = constants.k1_c3881 * m * tokens ** 2 * _log2(tokens) ** 2
+    elif variant is CalculatorVariant.V2_VNODE_FIX:
+        cost = constants.k2_vnode_fix * m * tokens * _log2(tokens) ** 2
+    elif variant is CalculatorVariant.V3_BOOTSTRAP_C6127:
+        cost = constants.k3_bootstrap * m * tokens ** 2
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown variant {variant!r}")
+    return max(cost, constants.floor)
+
+
+def pending_ranges_input_key(metadata: TokenMetadata, rf: int,
+                             variant: CalculatorVariant) -> str:
+    """Stable memoization key: ring content + parameters.
+
+    Ring tables across nodes converge to identical content during gossip, so
+    one recorded (input, output, duration) triple serves every node whose
+    table matches -- the reason pre-memoization of one colocated run is
+    enough (section 5's "order determinism" bounds the input space; content
+    keying collapses identical states).
+    """
+    return f"pending-ranges:{variant.value}:rf={rf}:ring={metadata.content_hash:016x}"
+
+
+def serialize_pending(pending: Dict[str, List[TokenRange]]) -> Dict[str, List[List[int]]]:
+    """JSON-friendly form of a pending-ranges map (for the memo DB)."""
+    return {
+        endpoint: [[rng.left, rng.right] for rng in ranges]
+        for endpoint, ranges in pending.items()
+    }
+
+
+def deserialize_pending(data: Dict[str, List[List[int]]]) -> Dict[str, List[TokenRange]]:
+    """Inverse of :func:`serialize_pending`."""
+    return {
+        endpoint: [TokenRange(int(left), int(right)) for left, right in ranges]
+        for endpoint, ranges in data.items()
+    }

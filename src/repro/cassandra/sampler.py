@@ -1,0 +1,151 @@
+"""Time-series sampling of cluster health: the step (f) debugging view.
+
+The paper's replay loop exists so developers can observe a bug unfolding
+as often as needed.  :class:`ClusterSampler` records per-second series --
+gossip-stage backlog, live-peer counts, flaps, calculation activity --
+during any run (live, memoized, or PIL replay), and
+:func:`render_timeline` draws them as an ASCII strip chart, giving the
+"what wedged when" picture that takes hours to assemble from production
+logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..sim.kernel import Timeout
+
+
+@dataclass
+class TimelinePoint:
+    """One sampling instant."""
+
+    time: float
+    max_inbox_depth: int
+    total_inbox_depth: int
+    mean_live_fraction: float   # mean over nodes of live/(known-1)
+    flaps_so_far: int
+    calcs_so_far: int
+
+
+class ClusterSampler:
+    """Samples a :class:`~repro.cassandra.cluster.Cluster` periodically.
+
+    Start it before (or during) a run::
+
+        sampler = ClusterSampler(cluster, interval=1.0)
+        sampler.start()
+        cluster.run(until=...)
+        print(render_timeline(sampler.points))
+    """
+
+    def __init__(self, cluster, interval: float = 1.0) -> None:
+        self.cluster = cluster
+        self.interval = interval
+        self.points: List[TimelinePoint] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Start the background process(es) (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.cluster.sim.spawn(self._sample_loop(), name="cluster-sampler")
+
+    def _sample_loop(self):
+        while True:
+            self.points.append(self._sample())
+            yield Timeout(self.interval)
+
+    def _sample(self) -> TimelinePoint:
+        cluster = self.cluster
+        depths = []
+        live_fractions = []
+        for node in cluster.nodes.values():
+            if not node.running:
+                continue
+            depths.append(len(node.inbox))
+            known = max(len(node.gossiper.endpoint_state_map) - 1, 1)
+            live_fractions.append(len(node.gossiper.live_endpoints) / known)
+        return TimelinePoint(
+            time=cluster.sim.now,
+            max_inbox_depth=max(depths, default=0),
+            total_inbox_depth=sum(depths),
+            mean_live_fraction=(sum(live_fractions) / len(live_fractions)
+                                if live_fractions else 1.0),
+            flaps_so_far=cluster.flaps.total,
+            calcs_so_far=len(cluster.calc_records),
+        )
+
+    # -- derived series -----------------------------------------------------------
+
+    def series(self, attribute: str) -> List[float]:
+        """Per-sample values of one TimelinePoint attribute."""
+        return [float(getattr(point, attribute)) for point in self.points]
+
+    def flaps_per_interval(self) -> List[int]:
+        """Flap deltas between consecutive samples."""
+        totals = [point.flaps_so_far for point in self.points]
+        return [totals[0]] + [b - a for a, b in zip(totals, totals[1:])]
+
+    def wedge_windows(self, depth_threshold: int = 10) -> List[tuple]:
+        """(start, end) windows where the worst gossip stage was backed up."""
+        windows = []
+        start: Optional[float] = None
+        for point in self.points:
+            wedged = point.max_inbox_depth >= depth_threshold
+            if wedged and start is None:
+                start = point.time
+            elif not wedged and start is not None:
+                windows.append((start, point.time))
+                start = None
+        if start is not None:
+            windows.append((start, self.points[-1].time))
+        return windows
+
+
+_BARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Downsample ``values`` to ``width`` buckets of bar characters."""
+    if not values:
+        return ""
+    values = list(values)
+    buckets: List[float] = []
+    if len(values) <= width:
+        buckets = [float(v) for v in values]
+    else:
+        per = len(values) / width
+        for i in range(width):
+            chunk = values[int(i * per):max(int((i + 1) * per), int(i * per) + 1)]
+            buckets.append(max(chunk))
+    top = max(buckets)
+    if top <= 0:
+        return _BARS[0] * len(buckets)
+    out = []
+    for value in buckets:
+        index = int(value / top * (len(_BARS) - 1))
+        out.append(_BARS[index])
+    return "".join(out)
+
+
+def render_timeline(points: Sequence[TimelinePoint], width: int = 60) -> str:
+    """ASCII strip chart of a sampled run."""
+    if not points:
+        return "(no samples)"
+    start, end = points[0].time, points[-1].time
+    flap_deltas = [points[0].flaps_so_far] + [
+        b.flaps_so_far - a.flaps_so_far for a, b in zip(points, points[1:])
+    ]
+    lines = [
+        f"timeline {start:.0f}s..{end:.0f}s ({len(points)} samples)",
+        f"stage backlog | {sparkline([p.max_inbox_depth for p in points], width)} "
+        f"| peak {max(p.max_inbox_depth for p in points)}",
+        f"live fraction | {sparkline([1.0 - p.mean_live_fraction for p in points], width)} "
+        f"| min {min(p.mean_live_fraction for p in points):.0%} (bar = down)",
+        f"flaps/sample  | {sparkline(flap_deltas, width)} "
+        f"| total {points[-1].flaps_so_far}",
+    ]
+    return "\n".join(lines)

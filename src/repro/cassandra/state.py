@@ -1,0 +1,151 @@
+"""Gossip endpoint state: heartbeats, versioned application states, digests.
+
+Mirrors Cassandra's ``HeartBeatState`` / ``EndpointState`` / ``GossipDigest``
+triple.  Every node keeps its *own* copy of every endpoint's state; gossip
+messages carry plain serialized blobs so views never alias each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# Application-state keys (subset of Cassandra's ApplicationState enum that
+# the membership protocols need).
+STATUS = "STATUS"
+TOKENS = "TOKENS"
+LOAD = "LOAD"
+
+# STATUS values.
+STATUS_BOOT = "BOOT"
+STATUS_NORMAL = "NORMAL"
+STATUS_LEAVING = "LEAVING"
+STATUS_LEFT = "LEFT"
+
+
+class VersionGenerator:
+    """Per-node monotonically increasing version numbers.
+
+    Cassandra uses a single generator per node shared by the heartbeat and
+    all application states, so "max version" digests summarize everything.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def next(self) -> int:
+        """The next monotonically increasing version number."""
+        return next(self._counter)
+
+
+@dataclass
+class HeartBeatState:
+    """(generation, version): generation bumps on restart, version on beat."""
+
+    generation: int
+    version: int = 0
+
+    def beat(self, versions: VersionGenerator) -> None:
+        """Advance the heartbeat version."""
+        self.version = versions.next()
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """An application-state value with the version at which it was set."""
+
+    value: str
+    version: int
+    #: Optional structured payload (e.g. the token tuple for TOKENS).
+    payload: Optional[Tuple] = None
+
+
+@dataclass
+class EndpointState:
+    """One node's view of one endpoint."""
+
+    heartbeat: HeartBeatState
+    app_states: Dict[str, VersionedValue] = field(default_factory=dict)
+    #: Local (observer-side) bookkeeping, never gossiped.
+    update_timestamp: float = 0.0
+    alive: bool = True
+
+    def max_version(self) -> int:
+        """Largest version across heartbeat and app states."""
+        version = self.heartbeat.version
+        for value in self.app_states.values():
+            version = max(version, value.version)
+        return version
+
+    def status(self) -> Optional[str]:
+        """The STATUS application-state value, if any."""
+        value = self.app_states.get(STATUS)
+        return value.value if value else None
+
+    def tokens(self) -> Optional[Tuple[int, ...]]:
+        """The gossiped token tuple, if any."""
+        value = self.app_states.get(TOKENS)
+        return value.payload if value else None
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_blob(self) -> tuple:
+        """Serializable full-state snapshot (no local bookkeeping)."""
+        return (
+            self.heartbeat.generation,
+            self.heartbeat.version,
+            tuple(
+                (key, value.value, value.version, value.payload)
+                for key, value in sorted(self.app_states.items())
+            ),
+        )
+
+    def delta_blob(self, newer_than: int) -> tuple:
+        """Snapshot carrying only app states newer than ``newer_than``.
+
+        The heartbeat always rides along (it is the liveness signal).
+        """
+        return (
+            self.heartbeat.generation,
+            self.heartbeat.version,
+            tuple(
+                (key, value.value, value.version, value.payload)
+                for key, value in sorted(self.app_states.items())
+                if value.version > newer_than
+            ),
+        )
+
+    @staticmethod
+    def from_blob(blob: tuple, now: float) -> "EndpointState":
+        """From blob."""
+        generation, hb_version, app_items = blob
+        state = EndpointState(
+            heartbeat=HeartBeatState(generation=generation, version=hb_version),
+            update_timestamp=now,
+        )
+        for key, value, version, payload in app_items:
+            state.app_states[key] = VersionedValue(value, version, payload)
+        return state
+
+
+@dataclass(frozen=True)
+class GossipDigest:
+    """Summary of one endpoint's state: who, which incarnation, how new."""
+
+    endpoint: str
+    generation: int
+    max_version: int
+
+
+def make_digests(state_map: Dict[str, EndpointState]) -> List[GossipDigest]:
+    """Digest list for a SYN message (deterministic order)."""
+    return [
+        GossipDigest(endpoint, state.heartbeat.generation, state.max_version())
+        for endpoint, state in sorted(state_map.items())
+    ]
+
+
+def blob_entry_count(blob: tuple) -> int:
+    """Number of app-state entries in a state blob (for CPU cost models)."""
+    return 1 + len(blob[2])

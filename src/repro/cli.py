@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the library's main entry points:
+
+* ``check``      -- run the scale-check pipeline for a bug at a scale and
+                    print the Real / Colo / SC+PIL comparison;
+* ``finder``     -- run the offending-function finder over the calculation
+                    corpus (or any importable module) and print the report;
+* ``figure3``    -- regenerate one Figure 3 panel (flaps vs scale);
+* ``study``      -- print the 38-bug study population table;
+* ``colocation`` -- print max-colocation factors and bottlenecks;
+* ``bugs``       -- list the reproducible bug configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from .bench import calibrate
+from .bench.figures import render_figure3
+from .bench.runner import figure3_series, make_check
+from .bench.tables import colocation_limits, render_colocation_limits
+from .cassandra.bugs import all_bugs
+from .core.finder import Finder
+from .core.report import (
+    render_finder_report,
+    render_memo_summary,
+    render_mode_comparison,
+)
+from .core.scalecheck import ScaleCheck
+from .study import default_study, render_population_table
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    check = make_check(args.bug, args.nodes, seed=args.seed)
+    print(f"scale-checking {args.bug} at {args.nodes} nodes "
+          f"(seed {args.seed})...")
+    reports = check.compare_modes()
+    print(render_mode_comparison(reports))
+    result = check.check()
+    print()
+    print(render_memo_summary(result.db))
+    if args.save_db:
+        result.db.save(args.save_db)
+        print(f"memo DB saved to {args.save_db}")
+    accuracy = ScaleCheck.accuracy(reports)
+    print(f"\nflap error vs real: colo {accuracy['colo_error']:.0%}, "
+          f"SC+PIL {accuracy['pil_error']:.0%}")
+    return 0
+
+
+def _cmd_finder(args: argparse.Namespace) -> int:
+    if args.module:
+        module = importlib.import_module(args.module)
+    else:
+        from .cassandra import legacy_calc as module  # the default corpus
+    report = Finder().analyze_module(module)
+    print(render_finder_report(report))
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    scales = args.scales or calibrate.figure3_scales()
+    print(f"running {args.bug} at scales {scales} "
+          f"(REPRO_FULL={'1' if calibrate.full_scale() else '0'})...")
+    series = figure3_series(args.bug, scales=scales, seed=args.seed)
+    print(render_figure3(args.bug, series, scales=scales))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    print(render_population_table(default_study()))
+    return 0
+
+
+def _cmd_colocation(args: argparse.Namespace) -> int:
+    print(render_colocation_limits(colocation_limits()))
+    return 0
+
+
+def _cmd_bugs(args: argparse.Namespace) -> int:
+    for bug in all_bugs():
+        marker = "fixed" if bug.fixed else "BUGGY"
+        print(f"{bug.bug_id:<14} [{marker}] {bug.workload.value:<12} "
+              f"P={bug.vnodes:<4} {bug.title}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="scale-check: find and replay scalability bugs at real "
+                    "scale on one machine (HotOS '17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run the scale-check pipeline")
+    check.add_argument("--bug", default="c3831")
+    check.add_argument("--nodes", type=int, default=24)
+    check.add_argument("--seed", type=int, default=42)
+    check.add_argument("--save-db", default=None,
+                       help="write the memoization DB to this JSON file")
+    check.set_defaults(func=_cmd_check)
+
+    finder = sub.add_parser("finder", help="run the offending-function finder")
+    finder.add_argument("--module", default=None,
+                        help="importable module to analyze "
+                             "(default: the Cassandra calculation corpus)")
+    finder.set_defaults(func=_cmd_finder)
+
+    figure3 = sub.add_parser("figure3", help="regenerate a Figure 3 panel")
+    figure3.add_argument("--bug", default="c3831",
+                         choices=["c3831", "c3881", "c5456"])
+    figure3.add_argument("--scales", type=int, nargs="*", default=None)
+    figure3.add_argument("--seed", type=int, default=42)
+    figure3.set_defaults(func=_cmd_figure3)
+
+    study = sub.add_parser("study", help="print the 38-bug study table")
+    study.set_defaults(func=_cmd_study)
+
+    colocation = sub.add_parser("colocation",
+                                help="print colocation limits")
+    colocation.set_defaults(func=_cmd_colocation)
+
+    bugs = sub.add_parser("bugs", help="list reproducible bugs")
+    bugs.set_defaults(func=_cmd_bugs)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""scale-check: the paper's primary contribution.
+
+Single-machine scale checking of distributed systems: the offending-function
+finder (program analysis), auto-instrumentation, memoization under basic
+colocation, the processing illusion (PIL), deterministic replay, and
+colocation bottleneck analysis.
+"""
+
+from .colocation import (
+    CPU_CONTENTION,
+    ColocationAnalyzer,
+    ColocationProbe,
+    DemandModel,
+    EVENT_LATENESS,
+    MEMORY_EXHAUSTION,
+    NodeFootprint,
+    SpaceObliviousFootprint,
+    per_process_footprint,
+    probe_colocation_sim,
+    single_process_footprint,
+    space_oblivious_footprint,
+)
+from .statespace import (
+    StateSpaceReduction,
+    observed_reduction,
+    offline_input_space_log10,
+    per_run_upper_bound,
+)
+from .finder import (
+    CallSite,
+    Finder,
+    FinderReport,
+    FunctionAnalysis,
+    ScaleLoop,
+    SideEffect,
+    find_offending,
+)
+from .instrument import InstrumentationError, Instrumenter
+from .memoization import MemoDB, MemoRecord
+from .pil import (
+    CALC_FUNC_ID,
+    MemoizingExecutor,
+    MissPolicy,
+    PilReplayExecutor,
+    ReplayMissError,
+)
+from .pilfunc import PilFunction, default_input_key, pil_wrap
+from .probes import ProbeLogEntry, ProbeSet
+from .replayer import ReplayHarness, ReplayResult
+from .report import (
+    render_finder_report,
+    render_memo_summary,
+    render_mode_comparison,
+    render_series,
+)
+from .scalecheck import ScaleCheck, ScaleCheckResult
+
+__all__ = [
+    "CALC_FUNC_ID",
+    "CPU_CONTENTION",
+    "CallSite",
+    "ColocationAnalyzer",
+    "ColocationProbe",
+    "DemandModel",
+    "EVENT_LATENESS",
+    "Finder",
+    "FinderReport",
+    "FunctionAnalysis",
+    "InstrumentationError",
+    "Instrumenter",
+    "MEMORY_EXHAUSTION",
+    "MemoDB",
+    "MemoRecord",
+    "MemoizingExecutor",
+    "MissPolicy",
+    "NodeFootprint",
+    "PilFunction",
+    "PilReplayExecutor",
+    "ProbeLogEntry",
+    "ProbeSet",
+    "ReplayHarness",
+    "ReplayMissError",
+    "ReplayResult",
+    "ScaleCheck",
+    "ScaleCheckResult",
+    "ScaleLoop",
+    "SideEffect",
+    "SpaceObliviousFootprint",
+    "StateSpaceReduction",
+    "default_input_key",
+    "observed_reduction",
+    "offline_input_space_log10",
+    "per_run_upper_bound",
+    "space_oblivious_footprint",
+    "find_offending",
+    "per_process_footprint",
+    "pil_wrap",
+    "probe_colocation_sim",
+    "render_finder_report",
+    "render_memo_summary",
+    "render_mode_comparison",
+    "render_series",
+    "single_process_footprint",
+]

@@ -1,0 +1,578 @@
+"""The PIL-safe and offending-function finder (step (b) of Figure 2).
+
+An AST-based program analysis that answers the paper's two questions:
+
+1. **Which functions are offending?**  Functions whose *effective*
+   scale-dependent loop depth is superlinear.  Loops count as
+   scale-dependent when they iterate a structure annotated with
+   :func:`repro.annotations.scale_dependent` or anything tainted by one
+   (assignments, sorted()/list() copies, tainted call arguments flowing
+   into parameters).  Nesting is tracked **across function boundaries**
+   through the intra-module call graph, because real offending nests span
+   many functions (CASSANDRA-6127: 1000+ LOC across 9 functions), and the
+   analysis records the if-branch *guards* on the path to each nest, so
+   developers know which workload exercises it (6127 again: the O(N^2)
+   loop only runs when the cluster bootstraps from scratch).
+
+2. **Which functions are PIL-safe?**  Functions with no side effects --
+   no I/O, network sends, locking, blocking, global writes, or
+   nondeterminism -- in themselves or anything they call, and a memoizable
+   (deterministic, value-returning) shape.  Writes through parameters are
+   reported as warnings rather than vetoes: they are safe when the mutated
+   structure is call-local, which the developer confirms (the paper keeps
+   the developer in the loop at exactly this point).
+
+The paper's footnote 1 split is also computed: offenders are categorized
+as scale-dependent CPU computation (depth >= 2) versus serialized O(N)
+work (depth 1), the "other 53%" the authors note can be caught "by
+slightly extending our program analysis".
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..annotations import REGISTRY, AnnotationRegistry
+
+# -- side-effect classification tables -----------------------------------------
+
+IO_CALLS = {"open", "print", "input"}
+IO_ATTR_HINTS = {"write", "read", "readline", "readlines", "flush", "fsync"}
+NETWORK_HINTS = {"send", "sendto", "sendall", "recv", "connect", "_send",
+                 "publish", "broadcast", "rpc"}
+LOCK_HINTS = {"acquire", "release", "Acquire", "Lock", "Semaphore", "RLock"}
+BLOCKING_HINTS = {"sleep", "wait", "join_thread"}
+NONDET_HINTS = {"time", "perf_counter", "monotonic", "now", "random",
+                "randint", "uniform", "choice", "shuffle", "sample", "gauss",
+                "urandom", "getrandbits", "random_stream"}
+#: Builtins that reduce a collection to a scalar: results are not tainted.
+SCALAR_BUILTINS = {"len", "sum", "min", "max", "any", "all", "count", "index"}
+#: Side-effect kinds that veto PIL safety when present (directly or
+#: transitively).  Parameter mutation is a warning, not a veto.
+VETO_KINDS = ("io", "network", "lock", "blocking", "nondeterminism",
+              "global-write", "state-write")
+
+
+@dataclass(frozen=True)
+class ScaleLoop:
+    """One loop iterating a scale-dependent structure."""
+
+    lineno: int
+    depth: int                 # scale-loop nesting level (1 = outermost)
+    iterates: str              # source text of the iterated expression
+    guards: Tuple[str, ...]    # enclosing if-conditions
+
+
+@dataclass(frozen=True)
+class SideEffect:
+    kind: str
+    lineno: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class CallSite:
+    callee: str
+    lineno: int
+    scale_loop_depth: int      # scale loops enclosing the call
+    tainted_args: Tuple[int, ...]
+    guards: Tuple[str, ...]
+
+
+@dataclass
+class FunctionAnalysis:
+    """Analysis result for one function."""
+
+    name: str
+    qualname: str
+    module: str
+    lineno: int
+    scale_loops: List[ScaleLoop] = field(default_factory=list)
+    side_effects: List[SideEffect] = field(default_factory=list)
+    param_mutations: List[SideEffect] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    params: List[str] = field(default_factory=list)
+    tainted_params: Set[str] = field(default_factory=set)
+    returns_value: bool = False
+    local_depth: int = 0
+    effective_depth: int = 0
+    transitive_effect_kinds: Set[str] = field(default_factory=set)
+
+    @property
+    def offending(self) -> bool:
+        """Superlinear in a scale axis -- a PIL candidate."""
+        return self.effective_depth >= 2
+
+    @property
+    def category(self) -> str:
+        """Root-cause category label (footnote-1 taxonomy)."""
+        if self.effective_depth >= 2:
+            return "scale-dependent-cpu"
+        if self.effective_depth == 1:
+            return "serialized-linear"
+        return "scale-independent"
+
+    def pil_safe(self, registry: AnnotationRegistry = REGISTRY) -> bool:
+        """PIL-safety verdict (registry overrides beat analysis)."""
+        override = registry.pil_safety_override(self.qualname)
+        if override is not None:
+            return override
+        if any(kind in VETO_KINDS for kind in self.transitive_effect_kinds):
+            return False
+        return self.returns_value
+
+    @property
+    def complexity(self) -> str:
+        """Big-O label derived from the effective loop depth."""
+        if self.effective_depth == 0:
+            return "O(1)"
+        return f"O(N^{self.effective_depth})"
+
+    def guard_conditions(self) -> List[str]:
+        """All distinct branch conditions guarding this function's loops."""
+        guards: List[str] = []
+        for loop in self.scale_loops:
+            for guard in loop.guards:
+                if guard not in guards:
+                    guards.append(guard)
+        return guards
+
+
+class _FunctionScanner:
+    """Single-function taint and structure analysis."""
+
+    def __init__(self, node: ast.FunctionDef, qualname: str, module: str,
+                 registry: AnnotationRegistry) -> None:
+        self.node = node
+        self.registry = registry
+        self.analysis = FunctionAnalysis(
+            name=node.name, qualname=qualname, module=module,
+            lineno=node.lineno,
+            params=[arg.arg for arg in node.args.args
+                    if arg.arg not in ("self", "cls")],
+        )
+        self.tainted: Set[str] = set()
+
+    # -- taint -------------------------------------------------------------------
+
+    def _expr_tainted(self, expr: Optional[ast.AST]) -> bool:
+        if expr is None:
+            return False
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and (
+                sub.id in self.tainted or self.registry.is_scale_dependent(sub.id)
+            ):
+                return True
+            if isinstance(sub, ast.Attribute) and self.registry.is_scale_dependent(
+                sub.attr
+            ):
+                return True
+        return False
+
+    def _value_taints(self, expr: Optional[ast.AST]) -> bool:
+        """Does assigning this expression taint the target?
+
+        Like :meth:`_expr_tainted` but scalar-reducing builtins and plain
+        element subscripts launder taint (``len(ring)`` and ``ring[i]`` are
+        not scale-sized).
+        """
+        if expr is None:
+            return False
+        if isinstance(expr, ast.Call):
+            func_name = _call_name(expr)
+            if func_name in SCALAR_BUILTINS:
+                return False
+            return any(self._value_taints(arg) for arg in expr.args) or any(
+                self._value_taints(kw.value) for kw in expr.keywords
+            )
+        if isinstance(expr, ast.Subscript):
+            if isinstance(expr.slice, ast.Slice):
+                return self._value_taints(expr.value)
+            return False
+        if isinstance(expr, (ast.BinOp,)):
+            return self._value_taints(expr.left) or self._value_taints(expr.right)
+        if isinstance(expr, ast.IfExp):
+            return self._value_taints(expr.body) or self._value_taints(expr.orelse)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return any(self._expr_tainted(gen.iter) for gen in expr.generators)
+        if isinstance(expr, ast.DictComp):
+            return any(self._expr_tainted(gen.iter) for gen in expr.generators)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(self._value_taints(item) for item in expr.elts)
+        return self._expr_tainted(expr)
+
+    def _taint_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for item in target.elts:
+                self._taint_target(item)
+
+    # -- scanning -----------------------------------------------------------------
+
+    def scan(self) -> FunctionAnalysis:
+        """Iterate the statement walk to a taint fixpoint (handles taint
+        introduced later in the body flowing into earlier-seen loops)."""
+        self.tainted = set(self.analysis.tainted_params)
+        for _round in range(6):
+            before = set(self.tainted)
+            self.analysis.scale_loops = []
+            self.analysis.side_effects = []
+            self.analysis.param_mutations = []
+            self.analysis.calls = []
+            self.analysis.returns_value = False
+            self._walk(self.node.body, depth=0, guards=())
+            if self.tainted == before:
+                break
+        self.analysis.local_depth = max(
+            (loop.depth for loop in self.analysis.scale_loops), default=0
+        )
+        return self.analysis
+
+    def _walk(self, stmts: Sequence[ast.stmt], depth: int,
+              guards: Tuple[str, ...]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, depth, guards)
+
+    def _stmt(self, stmt: ast.stmt, depth: int, guards: Tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            tainted_iter = self._expr_tainted(stmt.iter)
+            inner = depth + 1 if tainted_iter else depth
+            if tainted_iter:
+                self.analysis.scale_loops.append(ScaleLoop(
+                    lineno=stmt.lineno, depth=inner,
+                    iterates=_safe_unparse(stmt.iter), guards=guards,
+                ))
+            self._scan_exprs(stmt.iter, depth, guards)
+            self._walk(stmt.body, inner, guards)
+            self._walk(stmt.orelse, depth, guards)
+        elif isinstance(stmt, ast.While):
+            tainted_test = self._expr_tainted(stmt.test)
+            inner = depth + 1 if tainted_test else depth
+            if tainted_test:
+                self.analysis.scale_loops.append(ScaleLoop(
+                    lineno=stmt.lineno, depth=inner,
+                    iterates=_safe_unparse(stmt.test), guards=guards,
+                ))
+            self._scan_exprs(stmt.test, depth, guards)
+            self._walk(stmt.body, inner, guards)
+            self._walk(stmt.orelse, depth, guards)
+        elif isinstance(stmt, ast.If):
+            self._scan_exprs(stmt.test, depth, guards)
+            test_src = _safe_unparse(stmt.test)
+            self._walk(stmt.body, depth, guards + (test_src,))
+            self._walk(stmt.orelse, depth, guards + (f"not ({test_src})",))
+        elif isinstance(stmt, ast.Assign):
+            if self._value_taints(stmt.value):
+                for target in stmt.targets:
+                    self._taint_target(target)
+            self._record_write_targets(stmt.targets, stmt.lineno)
+            self._scan_exprs(stmt.value, depth, guards)
+        elif isinstance(stmt, ast.AugAssign):
+            if self._value_taints(stmt.value):
+                self._taint_target(stmt.target)
+            self._record_write_targets([stmt.target], stmt.lineno)
+            self._scan_exprs(stmt.value, depth, guards)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None and self._value_taints(stmt.value):
+                self._taint_target(stmt.target)
+            self._record_write_targets([stmt.target], stmt.lineno)
+            self._scan_exprs(stmt.value, depth, guards)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.analysis.returns_value = True
+            self._scan_exprs(stmt.value, depth, guards)
+        elif isinstance(stmt, ast.Expr):
+            self._scan_exprs(stmt.value, depth, guards)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            self.analysis.side_effects.append(SideEffect(
+                kind="global-write", lineno=stmt.lineno,
+                detail=", ".join(stmt.names),
+            ))
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._scan_exprs(item.context_expr, depth, guards)
+            self._walk(stmt.body, depth, guards)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body, depth, guards)
+            for handler in stmt.handlers:
+                self._walk(handler.body, depth, guards)
+            self._walk(stmt.orelse, depth, guards)
+            self._walk(stmt.finalbody, depth, guards)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions are analyzed separately
+        elif isinstance(stmt, ast.Raise):
+            self._scan_exprs(stmt.exc, depth, guards)
+        elif isinstance(stmt, (ast.Assert,)):
+            self._scan_exprs(stmt.test, depth, guards)
+
+    def _record_write_targets(self, targets: Sequence[ast.AST], lineno: int) -> None:
+        """Classify writes through attributes/subscripts of non-locals."""
+        for target in targets:
+            if isinstance(target, ast.Attribute):
+                base = _root_name(target)
+                if base == "self":
+                    self.analysis.side_effects.append(SideEffect(
+                        kind="state-write", lineno=lineno,
+                        detail=_safe_unparse(target),
+                    ))
+                elif base in self.analysis.params:
+                    self.analysis.param_mutations.append(SideEffect(
+                        kind="param-mutation", lineno=lineno,
+                        detail=_safe_unparse(target),
+                    ))
+            elif isinstance(target, ast.Subscript):
+                base = _root_name(target)
+                if base == "self":
+                    self.analysis.side_effects.append(SideEffect(
+                        kind="state-write", lineno=lineno,
+                        detail=_safe_unparse(target),
+                    ))
+                elif base in self.analysis.params:
+                    self.analysis.param_mutations.append(SideEffect(
+                        kind="param-mutation", lineno=lineno,
+                        detail=_safe_unparse(target),
+                    ))
+
+    def _scan_exprs(self, expr: Optional[ast.AST], depth: int,
+                    guards: Tuple[str, ...]) -> None:
+        """Find calls (call-graph edges + side effects) and comprehension
+        loops inside an expression tree."""
+        if expr is None:
+            return
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                self._record_call(sub, depth, guards)
+            elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                                  ast.DictComp)):
+                for gen in sub.generators:
+                    if self._expr_tainted(gen.iter):
+                        self.analysis.scale_loops.append(ScaleLoop(
+                            lineno=sub.lineno, depth=depth + 1,
+                            iterates=_safe_unparse(gen.iter), guards=guards,
+                        ))
+
+    def _record_call(self, call: ast.Call, depth: int,
+                     guards: Tuple[str, ...]) -> None:
+        name = _call_name(call)
+        if not name:
+            return
+        tainted_positions = tuple(
+            i for i, arg in enumerate(call.args) if self._value_taints(arg)
+        )
+        self.analysis.calls.append(CallSite(
+            callee=name, lineno=call.lineno, scale_loop_depth=depth,
+            tainted_args=tainted_positions, guards=guards,
+        ))
+        self._classify_call_effect(call, name)
+
+    def _classify_call_effect(self, call: ast.Call, name: str) -> None:
+        tail = name.rsplit(".", 1)[-1]
+        kind = None
+        if tail in IO_CALLS or tail in IO_ATTR_HINTS and "." in name:
+            kind = "io"
+        elif tail in NETWORK_HINTS:
+            kind = "network"
+        elif tail in LOCK_HINTS:
+            kind = "lock"
+        elif tail in BLOCKING_HINTS:
+            kind = "blocking"
+        elif tail in NONDET_HINTS:
+            kind = "nondeterminism"
+        if kind is not None:
+            self.analysis.side_effects.append(SideEffect(
+                kind=kind, lineno=call.lineno, detail=_safe_unparse(call.func),
+            ))
+
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return f"{_root_name(call.func)}.{call.func.attr}"
+    return ""
+
+
+def _root_name(node: ast.AST) -> str:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _safe_unparse(node: Optional[ast.AST]) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on valid ASTs
+        return f"<line {getattr(node, 'lineno', '?')}>"
+
+
+@dataclass
+class FinderReport:
+    """Whole-module analysis result."""
+
+    module: str
+    functions: Dict[str, FunctionAnalysis]
+
+    def get(self, name: str) -> FunctionAnalysis:
+        """Look up by bare name or qualname."""
+        if name in self.functions:
+            return self.functions[name]
+        for analysis in self.functions.values():
+            if analysis.qualname == name:
+                return analysis
+        raise KeyError(name)
+
+    def offenders(self) -> List[FunctionAnalysis]:
+        """Offending functions, deepest first."""
+        return sorted(
+            (f for f in self.functions.values() if f.offending),
+            key=lambda f: (-f.effective_depth, f.qualname),
+        )
+
+    def pil_candidates(self, registry: AnnotationRegistry = REGISTRY
+                       ) -> List[FunctionAnalysis]:
+        """Offending functions that are also PIL-safe: ready for replacement."""
+        return [f for f in self.offenders() if f.pil_safe(registry)]
+
+    def serialized_linear(self) -> List[FunctionAnalysis]:
+        """Depth-1 offenders: the paper's 'other 53%' O(N) serializations."""
+        return sorted(
+            (f for f in self.functions.values()
+             if f.category == "serialized-linear"),
+            key=lambda f: f.qualname,
+        )
+
+    def category_counts(self) -> Dict[str, int]:
+        """Function count per category."""
+        counts: Dict[str, int] = {}
+        for analysis in self.functions.values():
+            counts[analysis.category] = counts.get(analysis.category, 0) + 1
+        return counts
+
+
+class Finder:
+    """Interprocedural driver: scan, propagate taint and effects, score."""
+
+    def __init__(self, registry: AnnotationRegistry = REGISTRY) -> None:
+        self.registry = registry
+
+    # -- entry points -------------------------------------------------------------
+
+    def analyze_source(self, source: str, module: str = "<string>") -> FinderReport:
+        """Analyze Python source text; returns a FinderReport."""
+        tree = ast.parse(textwrap.dedent(source))
+        scanners: Dict[str, _FunctionScanner] = {}
+        self._collect(tree.body, prefix="", module=module, scanners=scanners)
+        return self._resolve(module, scanners)
+
+    def analyze_module(self, module) -> FinderReport:
+        """Analyze an imported module's source."""
+        source = inspect.getsource(module)
+        return self.analyze_source(source, module=module.__name__)
+
+    def analyze_modules(self, modules) -> Dict[str, FinderReport]:
+        """Analyze several modules; returns reports by module name."""
+        return {m.__name__: self.analyze_module(m) for m in modules}
+
+    # -- internals -----------------------------------------------------------------
+
+    def _collect(self, body, prefix: str, module: str,
+                 scanners: Dict[str, _FunctionScanner]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                scanners[node.name] = _FunctionScanner(
+                    node, qualname, module, self.registry
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._collect(node.body, prefix=f"{node.name}.",
+                              module=module, scanners=scanners)
+
+    def _resolve(self, module: str,
+                 scanners: Dict[str, _FunctionScanner]) -> FinderReport:
+        # Interprocedural taint: re-scan until parameter taints stabilize.
+        analyses = {name: scanner.scan() for name, scanner in scanners.items()}
+        for _round in range(10):
+            changed = False
+            for analysis in analyses.values():
+                for call in analysis.calls:
+                    callee = self._resolve_callee(call.callee, scanners)
+                    if callee is None:
+                        continue
+                    callee_analysis = analyses[callee]
+                    for pos in call.tainted_args:
+                        if pos < len(callee_analysis.params):
+                            param = callee_analysis.params[pos]
+                            if param not in callee_analysis.tainted_params:
+                                callee_analysis.tainted_params.add(param)
+                                changed = True
+            if not changed:
+                break
+            for name, scanner in scanners.items():
+                scanner.analysis.tainted_params = analyses[name].tainted_params
+                analyses[name] = scanner.scan()
+        # Effective depth and transitive effects via memoized DFS.
+        depth_memo: Dict[str, int] = {}
+        effect_memo: Dict[str, Set[str]] = {}
+
+        def effective_depth(name: str, stack: Tuple[str, ...]) -> int:
+            """Effective depth."""
+            if name in depth_memo:
+                return depth_memo[name]
+            if name in stack:
+                return 0  # recursion: bound conservatively
+            analysis = analyses[name]
+            best = analysis.local_depth
+            for call in analysis.calls:
+                callee = self._resolve_callee(call.callee, scanners)
+                if callee is None:
+                    continue
+                best = max(best, call.scale_loop_depth
+                           + effective_depth(callee, stack + (name,)))
+            depth_memo[name] = best
+            return best
+
+        def transitive_effects(name: str, stack: Tuple[str, ...]) -> Set[str]:
+            """Transitive effects."""
+            if name in effect_memo:
+                return effect_memo[name]
+            if name in stack:
+                return set()
+            analysis = analyses[name]
+            kinds = {effect.kind for effect in analysis.side_effects}
+            for call in analysis.calls:
+                callee = self._resolve_callee(call.callee, scanners)
+                if callee is not None:
+                    kinds |= transitive_effects(callee, stack + (name,))
+            effect_memo[name] = kinds
+            return kinds
+
+        for name, analysis in analyses.items():
+            analysis.effective_depth = effective_depth(name, ())
+            analysis.transitive_effect_kinds = transitive_effects(name, ())
+        return FinderReport(module=module, functions=analyses)
+
+    @staticmethod
+    def _resolve_callee(callee: str,
+                        scanners: Dict[str, _FunctionScanner]) -> Optional[str]:
+        """Resolve a call-site name to a function in this module."""
+        if callee in scanners:
+            return callee
+        if callee.startswith("self."):
+            method = callee[len("self."):]
+            if method in scanners:
+                return method
+        return None
+
+
+def find_offending(module, registry: AnnotationRegistry = REGISTRY) -> FinderReport:
+    """Convenience wrapper: analyze one module with the global registry."""
+    return Finder(registry).analyze_module(module)

@@ -1,0 +1,163 @@
+"""The memoization database (step (d) of the paper's Figure 2).
+
+During the one-time *basic colocation* run, every PIL-replaced function
+invocation records an ``(input, output, duration)`` triple -- the paper's
+in-situ time recording -- plus the global message-delivery order ("order
+determinism").  PIL-infused replay then substitutes each invocation with
+``sleep(duration)`` and the recorded output.
+
+Keys are *content* keys (e.g. the ring table's stable hash), so records are
+shared across nodes whose state has converged -- this is what keeps the
+database small even though the calculation runs thousands of times.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class MemoRecord:
+    """One memoized invocation of a PIL-replaced function."""
+
+    func_id: str
+    input_key: str
+    output: Any              # JSON-serializable form of the return value
+    duration: float          # in-situ recorded compute time (seconds)
+    node_id: str = ""        # which node recorded it (diagnostics)
+    time: float = 0.0        # virtual time of the recording
+    samples: int = 1         # how many invocations matched this key
+
+    def key(self) -> Tuple[str, str]:
+        """The (func_id, input_key) identity tuple."""
+        return (self.func_id, self.input_key)
+
+
+class MemoDB:
+    """Input-keyed store of memo records plus the recorded message order."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[str, str], MemoRecord] = {}
+        self.message_order: List[str] = []
+        self.meta: Dict[str, Any] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    # -- recording ----------------------------------------------------------------
+
+    def put(
+        self,
+        func_id: str,
+        input_key: str,
+        output: Any,
+        duration: float,
+        node_id: str = "",
+        time: float = 0.0,
+    ) -> MemoRecord:
+        """Record one invocation.
+
+        First write wins for output (outputs for a given input are identical
+        by the PIL-safety rule); durations of repeat observations are folded
+        into a running mean, which smooths measurement noise exactly the way
+        repeated in-situ samples would.
+        """
+        key = (func_id, input_key)
+        existing = self._records.get(key)
+        if existing is None:
+            record = MemoRecord(
+                func_id=func_id, input_key=input_key, output=output,
+                duration=duration, node_id=node_id, time=time,
+            )
+            self._records[key] = record
+            return record
+        total = existing.duration * existing.samples + duration
+        existing.samples += 1
+        existing.duration = total / existing.samples
+        return existing
+
+    def record_message_order(self, delivery_log: Iterable[str]) -> None:
+        """Store the recorded global delivery order."""
+        self.message_order = list(delivery_log)
+
+    # -- lookup --------------------------------------------------------------------
+
+    def get(self, func_id: str, input_key: str) -> Optional[MemoRecord]:
+        """Look up an entry; returns None when absent."""
+        self.lookups += 1
+        record = self._records.get((func_id, input_key))
+        if record is not None:
+            self.hits += 1
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._records
+
+    def records(self) -> List[MemoRecord]:
+        """All memo records (list copy)."""
+        return list(self._records.values())
+
+    def func_ids(self) -> List[str]:
+        """Distinct function identities present, sorted."""
+        return sorted({record.func_id for record in self._records.values()})
+
+    def durations(self, func_id: Optional[str] = None) -> List[float]:
+        """Recorded durations, optionally filtered by function id."""
+        return [
+            record.duration
+            for record in self._records.values()
+            if func_id is None or record.func_id == func_id
+        ]
+
+    def duration_range(self) -> Tuple[float, float]:
+        """(min, max) recorded duration; (0, 0) when empty."""
+        values = self.durations()
+        if not values:
+            return (0.0, 0.0)
+        return (min(values), max(values))
+
+    def total_samples(self) -> int:
+        """Total invocations folded into the records."""
+        return sum(record.samples for record in self._records.values())
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialize to JSON (records, message order, metadata)."""
+        payload = {
+            "meta": self.meta,
+            "message_order": self.message_order,
+            "records": [asdict(record) for record in self._records.values()],
+        }
+        Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+    @classmethod
+    def load(cls, path) -> "MemoDB":
+        """Load."""
+        payload = json.loads(Path(path).read_text())
+        db = cls()
+        db.meta = dict(payload.get("meta", {}))
+        db.message_order = list(payload.get("message_order", []))
+        for item in payload.get("records", []):
+            record = MemoRecord(**item)
+            db._records[record.key()] = record
+        return db
+
+    def merge(self, other: "MemoDB") -> int:
+        """Fold another DB's records in (multi-run memoization); returns the
+        number of newly added records."""
+        added = 0
+        for record in other.records():
+            if record.key() not in self._records:
+                self._records[record.key()] = record
+                added += 1
+        return added

@@ -1,0 +1,139 @@
+"""The processing illusion: simulator-integrated executors (steps d-f).
+
+Two :class:`~repro.cassandra.node.CalcExecutor` implementations plug into
+the node's calculation seam:
+
+* :class:`MemoizingExecutor` -- used during the one-time basic-colocation
+  run.  Executes the calculation live (charging the contended shared CPU)
+  while recording ``(input, output, duration)`` into a
+  :class:`~repro.core.memoization.MemoDB`.  The recorded duration is the
+  *intrinsic* CPU demand (what per-thread CPU-time accounting measures on a
+  real machine) perturbed by configurable measurement noise -- not the
+  contention-stretched wall time, which is exactly why PIL replay can be
+  accurate even though memoization ran slow.
+* :class:`PilReplayExecutor` -- used during replay.  Replaces the
+  calculation with ``sleep(duration)`` on a :class:`~repro.sim.cpu.PilCpu`
+  (consuming no machine capacity) and substitutes the memoized output.
+
+Cache-miss policy on replay is configurable: fall back to the analytic cost
+model (default), or execute live.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict
+
+from ..cassandra.node import CalcExecutor, CalcRequest
+from ..cassandra.pending_ranges import deserialize_pending, serialize_pending
+from ..sim.cpu import PilCpu
+from ..sim.kernel import Compute, Simulator
+
+#: The function identity under which pending-range calculations are
+#: memoized.  Integrating another target system supplies its own func_id
+#: and output codec (the HDFS model does exactly this).
+CALC_FUNC_ID = "cassandra.calculatePendingRanges"
+
+
+class MemoizingExecutor(CalcExecutor):
+    """Record (input, output, duration) while running live (step d)."""
+
+    def __init__(self, db, noise_sigma: float = 0.02,
+                 rng_stream: str = "memo-noise",
+                 func_id: str = CALC_FUNC_ID,
+                 serialize: Callable = serialize_pending) -> None:
+        self.db = db
+        self.noise_sigma = noise_sigma
+        self.rng_stream = rng_stream
+        self.func_id = func_id
+        self.serialize = serialize
+        self.recorded = 0
+
+    def execute(self, node, request: CalcRequest):
+        """Execute."""
+        elapsed = yield Compute(node.cpu, request.demand,
+                                tag=f"memoize:{node.node_id}")
+        duration = request.demand
+        if self.noise_sigma > 0:
+            noise = node.sim.rng.gauss(self.rng_stream, 0.0, self.noise_sigma)
+            duration = max(request.demand * (1.0 + noise), 0.0)
+        self.db.put(
+            func_id=self.func_id,
+            input_key=request.input_key,
+            output=self.serialize(request.output),
+            duration=duration,
+            node_id=node.node_id,
+            time=request.time,
+        )
+        self.recorded += 1
+        return request.output, elapsed
+
+    def stats(self) -> Dict[str, float]:
+        """Executor statistics for reports."""
+        return {"recorded": self.recorded, "distinct": len(self.db)}
+
+
+class MissPolicy(str, Enum):
+    """What PIL replay does when an input was never memoized."""
+
+    #: Sleep the analytic cost-model estimate and use the live output.
+    MODEL = "model"
+    #: Execute the computation live on the node's CPU (slow but exact).
+    LIVE = "live"
+    #: Raise -- strict replay for debugging determinism issues.
+    STRICT = "strict"
+
+
+class ReplayMissError(RuntimeError):
+    """Raised under :attr:`MissPolicy.STRICT` when a lookup misses."""
+
+
+class PilReplayExecutor(CalcExecutor):
+    """Substitute sleep(t) + memoized output for the calculation (step f)."""
+
+    def __init__(self, db, sim: Simulator,
+                 miss_policy: MissPolicy = MissPolicy.MODEL,
+                 func_id: str = CALC_FUNC_ID,
+                 deserialize: Callable = deserialize_pending) -> None:
+        self.db = db
+        self.pil_cpu = PilCpu(sim, name="pil")
+        self.miss_policy = miss_policy
+        self.func_id = func_id
+        self.deserialize = deserialize
+        self.hits = 0
+        self.misses = 0
+
+    def execute(self, node, request: CalcRequest):
+        """Execute."""
+        record = self.db.get(self.func_id, request.input_key)
+        if record is not None:
+            self.hits += 1
+            output = self.deserialize(record.output)
+            elapsed = yield Compute(self.pil_cpu, record.duration,
+                                    tag=f"pil:{node.node_id}")
+            return output, elapsed
+        self.misses += 1
+        if self.miss_policy is MissPolicy.STRICT:
+            raise ReplayMissError(
+                f"no memo record for {request.input_key} "
+                f"(node {node.node_id} at t={request.time:.2f})"
+            )
+        if self.miss_policy is MissPolicy.LIVE:
+            elapsed = yield Compute(node.cpu, request.demand,
+                                    tag=f"pil-miss-live:{node.node_id}")
+            return request.output, elapsed
+        # MissPolicy.MODEL: trust the analytic cost model for the duration,
+        # take the live output (it is available in the simulator for free).
+        elapsed = yield Compute(self.pil_cpu, request.demand,
+                                tag=f"pil-miss-model:{node.node_id}")
+        return request.output, elapsed
+
+    def stats(self) -> Dict[str, float]:
+        """Executor statistics for reports."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "slept_seconds": self.pil_cpu.slept_seconds,
+        }

@@ -1,0 +1,141 @@
+"""Wall-clock PIL for ordinary Python functions.
+
+The simulator executors in :mod:`repro.core.pil` integrate PIL with the
+virtual clock; this module is the same idea for *real* code running on the
+host: wrap a function so that a recording run stores
+``(input key, output, duration)`` into a :class:`~repro.core.memoization.MemoDB`
+and a replay run substitutes ``sleep(duration)`` plus the stored output.
+
+Used by the auto-instrumenter (:mod:`repro.core.instrument`) and by the
+examples that demonstrate PIL on the literal legacy calculation functions.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+import time
+from typing import Any, Callable, Optional, Tuple, TypeVar
+
+from ..cassandra.tokens import stable_hash64
+from .memoization import MemoDB
+
+F = TypeVar("F", bound=Callable)
+
+
+def default_input_key(args: Tuple, kwargs: dict) -> str:
+    """Stable content key for a call's arguments.
+
+    Objects may opt in to cheap, semantic keying by exposing
+    ``__memo_key__`` (an attribute or zero-arg method); everything else is
+    keyed by a stable hash of its pickle.  ``repr`` is deliberately not
+    used: default ``repr`` embeds object addresses, which are not stable
+    across processes.
+    """
+    parts = []
+    for value in list(args) + sorted(kwargs.items()):
+        parts.append(_component_key(value))
+    return "args:" + ",".join(parts)
+
+
+def _component_key(value: Any) -> str:
+    memo_key = getattr(value, "__memo_key__", None)
+    if memo_key is not None:
+        resolved = memo_key() if callable(memo_key) else memo_key
+        return f"mk{resolved}"
+    if isinstance(value, (int, float, str, bool, type(None))):
+        return repr(value)
+    try:
+        blob = pickle.dumps(value)
+    except Exception as exc:
+        raise TypeError(
+            f"cannot derive a memo key for {type(value).__name__}: {exc}"
+        ) from exc
+    return f"ph{stable_hash64(blob.hex()):016x}"
+
+
+class PilFunction:
+    """A function wrapped for PIL record/replay.
+
+    Modes:
+
+    * ``"record"`` -- call through, measure duration, store the result;
+    * ``"replay"`` -- look up; on hit, ``sleep(duration)`` and return the
+      stored output without calling the function; on miss, fall back to a
+      live call (and record it).
+    * ``"off"``    -- transparent passthrough.
+    """
+
+    def __init__(
+        self,
+        func: Callable,
+        db: MemoDB,
+        func_id: Optional[str] = None,
+        key_fn: Callable[[Tuple, dict], str] = default_input_key,
+        clock: Callable[[], float] = time.perf_counter,
+        sleeper: Callable[[float], None] = time.sleep,
+        time_scale: float = 1.0,
+    ) -> None:
+        functools.update_wrapper(self, func)
+        self.func = func
+        self.db = db
+        self.func_id = func_id or f"{func.__module__}.{func.__qualname__}"
+        self.key_fn = key_fn
+        self.clock = clock
+        self.sleeper = sleeper
+        #: Replay sleeps ``duration * time_scale`` -- a time-dilation knob
+        #: for tests that must not actually wait.
+        self.time_scale = time_scale
+        self.mode = "record"
+        self.live_calls = 0
+        self.replayed_calls = 0
+
+    def __call__(self, *args, **kwargs):
+        if self.mode == "off":
+            return self.func(*args, **kwargs)
+        key = self.key_fn(args, kwargs)
+        if self.mode == "replay":
+            record = self.db.get(self.func_id, key)
+            if record is not None:
+                self.replayed_calls += 1
+                if record.duration > 0:
+                    self.sleeper(record.duration * self.time_scale)
+                return pickle.loads(bytes.fromhex(record.output))
+        started = self.clock()
+        result = self.func(*args, **kwargs)
+        duration = self.clock() - started
+        self.live_calls += 1
+        self.db.put(
+            func_id=self.func_id,
+            input_key=key,
+            output=pickle.dumps(result).hex(),
+            duration=duration,
+        )
+        return result
+
+    # -- mode switches -------------------------------------------------------
+
+    def record(self) -> "PilFunction":
+        """Fold one operation result into the counters."""
+        self.mode = "record"
+        return self
+
+    def replay(self) -> "PilFunction":
+        """Switch to replay mode / perform a replay."""
+        self.mode = "replay"
+        return self
+
+    def off(self) -> "PilFunction":
+        """Disable the shim (transparent passthrough)."""
+        self.mode = "off"
+        return self
+
+
+def pil_wrap(db: MemoDB, **options) -> Callable[[F], PilFunction]:
+    """Decorator factory: ``@pil_wrap(db)`` wraps a function for PIL."""
+
+    def decorate(func: F) -> PilFunction:
+        """Decorate."""
+        return PilFunction(func, db, **options)
+
+    return decorate

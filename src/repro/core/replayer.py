@@ -1,0 +1,99 @@
+"""The deterministic replayer (step (e)/(f) of Figure 2).
+
+Builds a PIL-infused cluster from a memoization database and re-runs the
+recorded scenario: offending calculations become contention-free sleeps with
+memoized outputs, and (optionally) message deliveries are released in the
+recorded global order ("order determinism").
+
+Order enforcement needs a liveness escape hatch: if the replayed code has
+changed (the whole point of debugging is to change it), some recorded
+messages may never be produced and a strict enforcer would deadlock.  The
+:class:`ReplayHarness` therefore runs a watchdog process that detects a
+stalled enforcer and skips past missing keys after a grace period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cassandra.cluster import Cluster, ClusterConfig, Mode
+from ..cassandra.metrics import RunReport
+from ..cassandra.workloads import ScenarioParams, run_workload
+from ..sim.kernel import Simulator, Timeout
+from ..sim.network import OrderEnforcer
+from .memoization import MemoDB
+from .pil import MissPolicy, PilReplayExecutor
+
+
+@dataclass
+class ReplayResult:
+    """A completed replay with its determinism diagnostics."""
+
+    report: RunReport
+    hits: int
+    misses: int
+    hit_rate: float
+    order_enforced: bool
+    order_released: int = 0
+    order_skipped: int = 0
+    order_parked_at_end: int = 0
+
+
+class ReplayHarness:
+    """Runs PIL-infused replays of a recorded scenario."""
+
+    def __init__(
+        self,
+        db: MemoDB,
+        config: ClusterConfig,
+        params: Optional[ScenarioParams] = None,
+        miss_policy: MissPolicy = MissPolicy.MODEL,
+        enforce_order: bool = False,
+        watchdog_interval: float = 1.0,
+    ) -> None:
+        if config.mode is not Mode.PIL:
+            raise ValueError("replay requires a PIL-mode cluster config")
+        self.db = db
+        self.config = config
+        self.params = params or ScenarioParams()
+        self.miss_policy = miss_policy
+        self.enforce_order = enforce_order
+        self.watchdog_interval = watchdog_interval
+
+    def _watchdog(self, sim: Simulator, enforcer: OrderEnforcer):
+        """Skip past recorded-but-missing messages when replay stalls.
+
+        A replay that diverges from the recording (changed code, different
+        timing) keeps producing messages the recording never saw while
+        some recorded keys never materialize; skipping eagerly on every
+        stalled tick keeps gossip live instead of strangling it behind a
+        head-of-line blockage.
+        """
+        while True:
+            yield Timeout(self.watchdog_interval)
+            if enforcer.stalled:
+                enforcer.skip_stalled()
+
+    def replay(self) -> ReplayResult:
+        """Run one PIL-infused replay and return the result."""
+        enforcer = OrderEnforcer(self.db.message_order) if self.enforce_order else None
+        cluster = Cluster(self.config, order_enforcer=enforcer)
+        executor = PilReplayExecutor(self.db, cluster.sim,
+                                     miss_policy=self.miss_policy)
+        cluster.executor = executor
+        if enforcer is not None:
+            cluster.sim.spawn(self._watchdog(cluster.sim, enforcer),
+                              name="order-watchdog")
+        report = run_workload(cluster, self.config.bug.workload, self.params)
+        stats = executor.stats()
+        return ReplayResult(
+            report=report,
+            hits=int(stats["hits"]),
+            misses=int(stats["misses"]),
+            hit_rate=float(stats["hit_rate"]),
+            order_enforced=self.enforce_order,
+            order_released=enforcer.released_in_order if enforcer else 0,
+            order_skipped=enforcer.skips if enforcer else 0,
+            order_parked_at_end=enforcer.parked_count if enforcer else 0,
+        )

@@ -1,0 +1,111 @@
+"""Human-readable reports: finder output and experiment comparisons.
+
+These renderers turn analysis/experiment objects into the kind of report
+the paper says the tool should hand developers: offending functions with
+complexities and the workload paths that reach them, plus accuracy tables
+for mode comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..cassandra.metrics import RunReport, accuracy_error
+from .finder import FinderReport
+from .memoization import MemoDB
+
+
+def render_finder_report(report: FinderReport, max_guards: int = 3) -> str:
+    """Offending-function report (paper step (b) deliverable).
+
+    Lists each offender with its effective complexity, PIL-safety verdict,
+    and the branch conditions a test workload must satisfy to reach its
+    scale-dependent loops.
+    """
+    lines: List[str] = []
+    lines.append(f"scale-check finder report for module {report.module}")
+    lines.append("=" * len(lines[0]))
+    offenders = report.offenders()
+    if not offenders:
+        lines.append("no offending functions found")
+    for analysis in offenders:
+        verdict = "PIL-safe" if analysis.pil_safe() else "NOT PIL-safe"
+        lines.append(
+            f"- {analysis.qualname} (line {analysis.lineno}): "
+            f"{analysis.complexity}, {verdict}"
+        )
+        if analysis.transitive_effect_kinds:
+            lines.append(
+                f"    side effects: {', '.join(sorted(analysis.transitive_effect_kinds))}"
+            )
+        if analysis.param_mutations:
+            lines.append(
+                "    warning: writes through parameters "
+                f"({len(analysis.param_mutations)} sites); safe only if call-local"
+            )
+        guards = analysis.guard_conditions()[:max_guards]
+        if guards:
+            lines.append(f"    reached when: {' and '.join(guards)}")
+        for loop in analysis.scale_loops:
+            lines.append(
+                f"    loop @{loop.lineno} depth {loop.depth}: iterates {loop.iterates}"
+            )
+    linear = report.serialized_linear()
+    if linear:
+        lines.append("")
+        lines.append("serialized O(N) functions (extendable-analysis targets):")
+        for analysis in linear:
+            lines.append(f"- {analysis.qualname}: {analysis.complexity}")
+    counts = report.category_counts()
+    lines.append("")
+    lines.append(
+        "categories: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    )
+    return "\n".join(lines)
+
+
+def render_mode_comparison(reports: Dict[str, RunReport]) -> str:
+    """One Figure-3 point as a table row set: Real vs Colo vs SC+PIL."""
+    real = reports["real"]
+    lines = [
+        f"bug {real.bug}, N={real.nodes} nodes (P={real.vnodes} vnodes)",
+        f"{'mode':>6} {'flaps':>8} {'calcs':>7} {'util':>6} "
+        f"{'stretch':>8} {'err-vs-real':>12}",
+    ]
+    for mode in ("real", "colo", "pil"):
+        report = reports[mode]
+        error = accuracy_error(real, report)
+        lines.append(
+            f"{mode:>6} {report.flaps:>8d} {len(report.calc_records):>7d} "
+            f"{report.cpu_utilization:>6.0%} {report.mean_stretch:>8.2f} "
+            f"{error:>12.1%}"
+        )
+    return "\n".join(lines)
+
+
+def render_memo_summary(db: MemoDB) -> str:
+    """Memoization database summary (step (d) diagnostics)."""
+    low, high = db.duration_range()
+    lines = [
+        f"memo DB: {len(db)} distinct inputs, {db.total_samples()} samples",
+        f"functions: {', '.join(db.func_ids()) or '(none)'}",
+        f"recorded durations: {low:.4f}s .. {high:.4f}s",
+        f"message order: {len(db.message_order)} deliveries recorded",
+    ]
+    for key, value in sorted(db.meta.items()):
+        lines.append(f"meta {key}: {value}")
+    return "\n".join(lines)
+
+
+def render_series(title: str, scales: Iterable[int],
+                  series: Dict[str, Dict[int, int]]) -> str:
+    """A Figure-3-style series table: one row per scale, one column per mode."""
+    modes = list(series)
+    lines = [title, f"{'N':>6} " + " ".join(f"{m:>10}" for m in modes)]
+    for n in scales:
+        row = f"{n:>6d} " + " ".join(
+            f"{series[m].get(n, 0):>10d}" for m in modes
+        )
+        lines.append(row)
+    return "\n".join(lines)

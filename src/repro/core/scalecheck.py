@@ -1,0 +1,189 @@
+"""The scale-check pipeline orchestrator (the paper's Figure 2, end to end).
+
+:class:`ScaleCheck` ties every stage together for one (bug, cluster size)
+scenario:
+
+* step (a) -- the substrate's data structures are annotated in
+  :mod:`repro.cassandra.legacy_calc`;
+* step (b) -- :meth:`ScaleCheck.find_offenders` runs the program analysis
+  over the calculation corpus;
+* steps (c)+(d) -- :meth:`ScaleCheck.memoize` executes the protocol once
+  under basic colocation with recording executors, producing a
+  :class:`~repro.core.memoization.MemoDB` (including the message order);
+* steps (e)+(f) -- :meth:`ScaleCheck.replay` runs fast PIL-infused replays.
+
+For the paper's accuracy evaluation (Figure 3), :meth:`ScaleCheck.run_real`
+and :meth:`ScaleCheck.run_colo` produce the "Real" and "Colo" baselines and
+:meth:`ScaleCheck.compare_modes` yields all three series in one call.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .. import annotations as _annotations
+from ..cassandra import legacy_calc
+from ..cassandra.bugs import BugConfig, get_bug
+from ..cassandra.cluster import Cluster, ClusterConfig, MachineSpec, Mode
+from ..cassandra.gossip import GossipConfig
+from ..cassandra.metrics import RunReport, accuracy_error
+from ..cassandra.node import NodeCosts
+from ..cassandra.pending_ranges import CostConstants
+from ..cassandra.workloads import ScenarioParams, run_workload
+from .finder import Finder, FinderReport
+from .memoization import MemoDB
+from .pil import CALC_FUNC_ID, MemoizingExecutor, MissPolicy
+from .replayer import ReplayHarness, ReplayResult
+
+
+@dataclass
+class ScaleCheckResult:
+    """Output of a full memoize + replay pipeline run."""
+
+    bug_id: str
+    nodes: int
+    memo_report: RunReport
+    replay: ReplayResult
+    db: MemoDB
+
+    @property
+    def replay_report(self) -> RunReport:
+        """The PIL replay's run report."""
+        return self.replay.report
+
+    def speedup(self) -> float:
+        """Wall-clock memoization/replay cost ratio (host seconds)."""
+        if self.replay_report.wall_seconds <= 0:
+            return float("inf")
+        return self.memo_report.wall_seconds / self.replay_report.wall_seconds
+
+
+@dataclass
+class ScaleCheck:
+    """One scale-check scenario: a bug, a cluster size, and timing knobs."""
+
+    bug_id: str
+    nodes: int
+    seed: int = 42
+    params: ScenarioParams = field(default_factory=ScenarioParams)
+    cost_constants: CostConstants = field(default_factory=CostConstants)
+    costs: NodeCosts = field(default_factory=NodeCosts)
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    gossip: GossipConfig = field(default_factory=GossipConfig)
+    rf: int = 3
+    memo_noise_sigma: float = 0.02
+
+    @property
+    def bug(self) -> BugConfig:
+        """The bug configuration under check."""
+        return get_bug(self.bug_id)
+
+    def config(self, mode: Mode) -> ClusterConfig:
+        """Cluster configuration for the given mode."""
+        return ClusterConfig(
+            bug=self.bug,
+            nodes=self.nodes,
+            mode=mode,
+            rf=self.rf,
+            seed=self.seed,
+            machine=copy.deepcopy(self.machine),
+            gossip=copy.deepcopy(self.gossip),
+            costs=copy.deepcopy(self.costs),
+            cost_constants=copy.deepcopy(self.cost_constants),
+        )
+
+    # -- step (b): program analysis ---------------------------------------------------
+
+    def find_offenders(self) -> FinderReport:
+        """Run the finder over the pending-range calculation corpus."""
+        return Finder(_annotations.REGISTRY).analyze_module(legacy_calc)
+
+    # -- baselines ----------------------------------------------------------------------
+
+    def run_real(self) -> RunReport:
+        """Real-scale testing: every node on its own (simulated) machine."""
+        cluster = Cluster(self.config(Mode.REAL))
+        return run_workload(cluster, self.bug.workload, self.params)
+
+    def run_colo(self) -> RunReport:
+        """Basic colocation: all nodes contend on one machine, no PIL."""
+        cluster = Cluster(self.config(Mode.COLO))
+        return run_workload(cluster, self.bug.workload, self.params)
+
+    # -- steps (c)+(d): memoization under basic colocation -------------------------------
+
+    def memoize(self, db: Optional[MemoDB] = None) -> ScaleCheckResult:
+        """One-time recording run; returns result with replay not yet run."""
+        db = db if db is not None else MemoDB()
+        cluster = Cluster(self.config(Mode.COLO))
+        cluster.executor = MemoizingExecutor(db, noise_sigma=self.memo_noise_sigma)
+        report = run_workload(cluster, self.bug.workload, self.params)
+        db.record_message_order(cluster.network.delivery_log)
+        db.meta.update({
+            "bug": self.bug_id,
+            "nodes": self.nodes,
+            "seed": self.seed,
+            "func_id": CALC_FUNC_ID,
+            "mode": "colo-memoize",
+            "virtual_duration": report.duration,
+        })
+        return ScaleCheckResult(
+            bug_id=self.bug_id, nodes=self.nodes,
+            memo_report=report,
+            replay=ReplayResult(report=report, hits=0, misses=0, hit_rate=0.0,
+                                order_enforced=False),
+            db=db,
+        )
+
+    # -- steps (e)+(f): PIL-infused replay ----------------------------------------------
+
+    def replay(
+        self,
+        db: MemoDB,
+        enforce_order: bool = False,
+        miss_policy: MissPolicy = MissPolicy.MODEL,
+    ) -> ReplayResult:
+        """Switch to replay mode / perform a replay."""
+        harness = ReplayHarness(
+            db=db,
+            config=self.config(Mode.PIL),
+            params=self.params,
+            miss_policy=miss_policy,
+            enforce_order=enforce_order,
+        )
+        return harness.replay()
+
+    # -- the whole pipeline ----------------------------------------------------------------
+
+    def check(
+        self,
+        enforce_order: bool = False,
+        miss_policy: MissPolicy = MissPolicy.MODEL,
+    ) -> ScaleCheckResult:
+        """Memoize once, replay once: the paper's scale-check flow."""
+        result = self.memoize()
+        result.replay = self.replay(result.db, enforce_order=enforce_order,
+                                    miss_policy=miss_policy)
+        return result
+
+    # -- evaluation helper --------------------------------------------------------------------
+
+    def compare_modes(self) -> Dict[str, RunReport]:
+        """One Figure-3 data point: Real, Colo, and SC+PIL flap counts."""
+        real = self.run_real()
+        result = self.check()
+        return {
+            "real": real,
+            "colo": result.memo_report,
+            "pil": result.replay_report,
+        }
+
+    @staticmethod
+    def accuracy(reports: Dict[str, RunReport]) -> Dict[str, float]:
+        """Relative flap errors of colo and PIL against the real run."""
+        return {
+            "colo_error": accuracy_error(reports["real"], reports["colo"]),
+            "pil_error": accuracy_error(reports["real"], reports["pil"]),
+        }

@@ -1,0 +1,102 @@
+"""Input-space analysis: why pre-memoization needs order determinism.
+
+Section 5: "covering all possible input/output pairs may require an
+'infinite' time and storage space ... In a ring rebalancing algorithm for
+example, with N nodes and P partitions/node, there are (N^NP)^2
+input/output pairs given all possible orderings.  Thus, to cap the state
+space, the pre-memoization stage also records message ordering ... We
+simply record pairs that are observed in one particular run."
+
+This module makes that argument quantitative for our substrate:
+
+* :func:`offline_input_space_log10` -- the astronomically large space an
+  offline input-sampling memoizer would face;
+* :func:`observed_reduction` -- measured from an actual memoization DB:
+  how many distinct inputs one order-pinned run actually produced, versus
+  the offline bound (typically tens vs. 10^hundreds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .memoization import MemoDB
+
+
+def offline_input_space_log10(nodes: int, partitions_per_node: int = 1) -> float:
+    """log10 of the paper's (N^NP)^2 offline input/output-pair bound.
+
+    log10((N^(N*P))^2) = 2 * N * P * log10(N).
+    """
+    if nodes <= 0 or partitions_per_node <= 0:
+        raise ValueError("nodes and partitions must be positive")
+    if nodes == 1:
+        return 0.0
+    return 2.0 * nodes * partitions_per_node * math.log10(nodes)
+
+
+def per_run_upper_bound(nodes: int, changes: int, messages: int) -> int:
+    """Inputs one deterministic run can produce, bounded by activity.
+
+    With message order fixed, each processed message can change the ring
+    content at most once, so distinct calculation inputs are bounded by
+    the number of content-changing events -- linear in run activity, not
+    exponential in cluster size.
+    """
+    return max(1, min(messages, changes * nodes * 4))
+
+
+@dataclass
+class StateSpaceReduction:
+    """Offline bound vs what a recorded run actually needed."""
+
+    nodes: int
+    partitions_per_node: int
+    offline_log10: float
+    observed_distinct_inputs: int
+    observed_samples: int
+
+    @property
+    def observed_log10(self) -> float:
+        """log10 of the observed distinct-input count."""
+        return math.log10(max(self.observed_distinct_inputs, 1))
+
+    @property
+    def reduction_log10(self) -> float:
+        """Orders of magnitude saved by order-deterministic recording."""
+        return self.offline_log10 - self.observed_log10
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"N={self.nodes}, P={self.partitions_per_node}: offline input "
+            f"space ~10^{self.offline_log10:.0f} pairs; one recorded run "
+            f"needed {self.observed_distinct_inputs} distinct inputs "
+            f"({self.observed_samples} invocations) -- a 10^"
+            f"{self.reduction_log10:.0f}x reduction"
+        )
+
+
+def observed_reduction(db: MemoDB, nodes: Optional[int] = None,
+                       partitions_per_node: Optional[int] = None
+                       ) -> StateSpaceReduction:
+    """Quantify the reduction an actual memoization DB achieved.
+
+    ``nodes``/``partitions_per_node`` default to the DB's recorded
+    metadata (set by the scale-check pipeline).
+    """
+    if nodes is None:
+        nodes = int(db.meta.get("nodes", db.meta.get("datanodes", 0)))
+    if partitions_per_node is None:
+        partitions_per_node = int(db.meta.get("vnodes", 1))
+    if nodes <= 0:
+        raise ValueError("cluster size unknown: pass nodes explicitly")
+    return StateSpaceReduction(
+        nodes=nodes,
+        partitions_per_node=max(partitions_per_node, 1),
+        offline_log10=offline_input_space_log10(nodes, max(partitions_per_node, 1)),
+        observed_distinct_inputs=len(db),
+        observed_samples=db.total_samples(),
+    )

@@ -1,0 +1,96 @@
+"""Block identities and block-report payloads for the HDFS-like model.
+
+HDFS bugs dominate the paper's study population (11 of 38), and Exalt --
+the data-space-emulation baseline of section 4 -- was evaluated by
+colocating 100 HDFS datanodes.  This module provides the shared vocabulary:
+deterministic block placement and the full block reports whose processing
+under the namenode's global lock is the model's offending computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..cassandra.tokens import stable_hash64
+
+#: Default block size (bytes); HDFS's classic 128 MB.
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024
+
+
+def block_id(seq: int) -> str:
+    """Canonical block id for a global sequence number."""
+    return f"blk_{seq:012d}"
+
+
+def placement_for_block(seq: int, datanodes: Sequence[str],
+                        replication: int) -> List[str]:
+    """Deterministic replica placement: hash onto the datanode list.
+
+    Stands in for HDFS's rack-aware placement; determinism keeps every run
+    (real, colocated, replayed) assigning identical replicas.
+    """
+    if not datanodes:
+        return []
+    ordered = sorted(datanodes)
+    start = stable_hash64(f"blk-place:{seq}") % len(ordered)
+    count = min(replication, len(ordered))
+    return [ordered[(start + i) % len(ordered)] for i in range(count)]
+
+
+@dataclass(frozen=True)
+class ReportedBlock:
+    """One block entry in a datanode's full block report."""
+
+    block_id: str
+    size: int
+    generation: int = 1
+
+
+@dataclass(frozen=True)
+class BlockReport:
+    """A datanode's full block report.
+
+    ``content_key`` is stable across runs for identical content -- the
+    memoization key for PIL-replacing the report processing.
+    """
+
+    datanode: str
+    blocks: Tuple[ReportedBlock, ...]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def total_bytes(self) -> int:
+        """Sum of reported block sizes."""
+        return sum(block.size for block in self.blocks)
+
+    def content_key(self) -> str:
+        """Stable content hash of the report (memoization key)."""
+        digest = 0
+        for block in self.blocks:
+            digest ^= stable_hash64(
+                f"{block.block_id}:{block.size}:{block.generation}")
+        return f"report:{self.datanode}:{len(self.blocks)}:{digest:016x}"
+
+
+def synthesize_blocks(datanode: str, count: int,
+                      block_size: int = DEFAULT_BLOCK_SIZE,
+                      size_jitter: float = 0.0) -> List[ReportedBlock]:
+    """Deterministic synthetic block population for one datanode.
+
+    Stands in for production data (which we do not have): block ids and
+    sizes derive from the datanode name, so every mode sees identical
+    content.  ``size_jitter`` varies sizes (fraction of ``block_size``)
+    to exercise non-uniform reports.
+    """
+    blocks = []
+    for i in range(count):
+        size = block_size
+        if size_jitter > 0:
+            span = int(block_size * size_jitter)
+            size = block_size - span + (
+                stable_hash64(f"{datanode}:size:{i}") % (2 * span + 1))
+        blocks.append(ReportedBlock(
+            block_id=f"blk_{datanode}_{i:08d}", size=size))
+    return blocks

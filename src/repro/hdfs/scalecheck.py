@@ -1,0 +1,140 @@
+"""Scale-check applied to the HDFS-like system (the section 7 goal).
+
+The paper's future work is to "integrate the process to other distributed
+systems beyond Cassandra".  Because the executor seam and the memoization
+database are target-agnostic, pointing scale-check at the HDFS model takes
+only a func-id and an output codec -- this module is the whole integration.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..cassandra.cluster import MachineSpec, Mode
+from ..cassandra.metrics import RunReport, accuracy_error
+from ..core.memoization import MemoDB
+from ..core.pil import MemoizingExecutor, MissPolicy, PilReplayExecutor
+from .cluster import HdfsCluster, HdfsConfig, run_cold_start
+from .namenode import (
+    REPORT_FUNC_ID,
+    deserialize_report_outcome,
+    serialize_report_outcome,
+)
+
+
+@dataclass
+class HdfsScaleCheckResult:
+    datanodes: int
+    memo_report: RunReport
+    replay_report: RunReport
+    db: MemoDB
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class HdfsScaleCheck:
+    """Memoize-and-replay pipeline for the HDFS cold-start scenario."""
+
+    datanodes: int
+    blocks_per_datanode: int = 10000
+    seed: int = 42
+    observe: float = 60.0
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    memo_noise_sigma: float = 0.02
+
+    def config(self, mode: Mode) -> HdfsConfig:
+        """Cluster configuration for the given mode."""
+        return HdfsConfig(
+            datanodes=self.datanodes,
+            blocks_per_datanode=self.blocks_per_datanode,
+            mode=mode,
+            seed=self.seed,
+            machine=copy.deepcopy(self.machine),
+        )
+
+    def run_real(self) -> RunReport:
+        """Real-scale baseline run."""
+        cluster = HdfsCluster(self.config(Mode.REAL))
+        return run_cold_start(cluster, observe=self.observe)
+
+    def run_colo(self) -> RunReport:
+        """Basic-colocation baseline run."""
+        cluster = HdfsCluster(self.config(Mode.COLO))
+        return run_cold_start(cluster, observe=self.observe)
+
+    def memoize(self, db: Optional[MemoDB] = None) -> HdfsScaleCheckResult:
+        """One-time recording run under basic colocation."""
+        db = db if db is not None else MemoDB()
+        cluster = HdfsCluster(self.config(Mode.COLO))
+        executor = MemoizingExecutor(
+            db, noise_sigma=self.memo_noise_sigma,
+            func_id=REPORT_FUNC_ID, serialize=serialize_report_outcome)
+        cluster.namenode.executor = executor
+        report = run_cold_start(cluster, observe=self.observe)
+        db.record_message_order(cluster.network.delivery_log)
+        db.meta.update({
+            "system": "hdfs",
+            "datanodes": self.datanodes,
+            "blocks_per_datanode": self.blocks_per_datanode,
+            "seed": self.seed,
+            "func_id": REPORT_FUNC_ID,
+        })
+        return HdfsScaleCheckResult(
+            datanodes=self.datanodes, memo_report=report,
+            replay_report=report, db=db)
+
+    def replay(self, db: MemoDB,
+               miss_policy: MissPolicy = MissPolicy.MODEL
+               ) -> HdfsScaleCheckResult:
+        """Switch to replay mode / perform a replay."""
+        cluster = HdfsCluster(self.config(Mode.PIL))
+        executor = PilReplayExecutor(
+            db, cluster.sim, miss_policy=miss_policy,
+            func_id=REPORT_FUNC_ID, deserialize=deserialize_report_outcome)
+        cluster.namenode.executor = executor
+        report = run_cold_start(cluster, observe=self.observe)
+        stats = executor.stats()
+        return HdfsScaleCheckResult(
+            datanodes=self.datanodes, memo_report=report,
+            replay_report=report, db=db,
+            hits=int(stats["hits"]), misses=int(stats["misses"]))
+
+    def check(self) -> HdfsScaleCheckResult:
+        """Memoize once, replay once."""
+        memo = self.memoize()
+        replay = self.replay(memo.db)
+        return HdfsScaleCheckResult(
+            datanodes=self.datanodes,
+            memo_report=memo.memo_report,
+            replay_report=replay.replay_report,
+            db=memo.db,
+            hits=replay.hits,
+            misses=replay.misses,
+        )
+
+    def compare_modes(self) -> Dict[str, RunReport]:
+        """Real vs Colo vs SC+PIL reports for this scenario."""
+        real = self.run_real()
+        result = self.check()
+        return {
+            "real": real,
+            "colo": result.memo_report,
+            "pil": result.replay_report,
+        }
+
+    @staticmethod
+    def accuracy(reports: Dict[str, RunReport]) -> Dict[str, float]:
+        """Accuracy."""
+        return {
+            "colo_error": accuracy_error(reports["real"], reports["colo"]),
+            "pil_error": accuracy_error(reports["real"], reports["pil"]),
+        }

@@ -1,0 +1,202 @@
+"""Disk models: bandwidth/capacity-limited storage with emulation hooks.
+
+Built for the Exalt baseline (Wang et al., NSDI '14), which the paper's
+section 4 discusses: Exalt colocates 100 HDFS datanodes on one machine by
+compressing user data to **zero bytes on disk while recording its size**,
+so I/O-heavy scale tests fit one machine's storage.  The disk model
+therefore distinguishes *logical* bytes (what the system believes it
+stored) from *physical* bytes (what the emulated machine actually spends),
+and charges transfer time against a bandwidth budget shared by all writers
+on the same physical disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .memory import MB, GB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+
+class DiskFullError(RuntimeError):
+    """Raised when a write would exceed the disk's physical capacity."""
+
+    def __init__(self, owner: str, requested: int, available: int) -> None:
+        super().__init__(
+            f"disk full: {owner} needs {requested / MB:.1f} MB physical, "
+            f"{available / MB:.1f} MB available"
+        )
+        self.owner = owner
+        self.requested = requested
+        self.available = available
+
+
+@dataclass
+class BlockRecord:
+    """One stored block: logical size always kept, physical size maybe 0."""
+
+    block_id: str
+    owner: str
+    logical_size: int
+    physical_size: int
+
+
+class DataEmulationPolicy:
+    """How user data maps onto physical bytes (the Exalt axis).
+
+    ``physical_size(logical)`` returns the bytes actually consumed;
+    ``time_charge_bytes(logical)`` returns the bytes charged against disk
+    bandwidth.  The base policy stores everything faithfully.
+    """
+
+    name = "faithful"
+
+    def physical_size(self, logical: int) -> int:
+        """Physical bytes consumed for ``logical`` bytes of data."""
+        return logical
+
+    def time_charge_bytes(self, logical: int) -> int:
+        """Bytes charged against bandwidth for the transfer."""
+        return logical
+
+
+class ZeroByteEmulation(DataEmulationPolicy):
+    """Exalt's trick: user data compresses to ~zero bytes; size is recorded.
+
+    Metadata still occupies a small per-block overhead, and transfer time
+    can optionally still be charged at logical size (Exalt emulates time
+    for the data path even though no bytes hit the disk) -- controlled by
+    ``charge_logical_time``.
+    """
+
+    name = "exalt-zero-byte"
+
+    def __init__(self, per_block_metadata: int = 256,
+                 charge_logical_time: bool = True) -> None:
+        self.per_block_metadata = per_block_metadata
+        self.charge_logical_time = charge_logical_time
+
+    def physical_size(self, logical: int) -> int:
+        """Physical bytes consumed for ``logical`` bytes of data."""
+        return self.per_block_metadata
+
+    def time_charge_bytes(self, logical: int) -> int:
+        """Bytes charged against bandwidth for the transfer."""
+        return logical if self.charge_logical_time else self.per_block_metadata
+
+
+class Disk:
+    """A machine's disk: capacity plus a shared bandwidth budget.
+
+    Transfers serialize in FIFO order (one head): concurrent writers queue.
+    ``write``/``read`` are *process effects* -- call them via
+    ``yield from disk.write(...)`` inside a simulated process.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity_bytes: int = 1000 * GB,
+        bandwidth_bytes_per_sec: int = 100 * MB,
+        emulation: Optional[DataEmulationPolicy] = None,
+        name: str = "disk",
+    ) -> None:
+        if capacity_bytes <= 0 or bandwidth_bytes_per_sec <= 0:
+            raise ValueError("capacity and bandwidth must be positive")
+        self.sim = sim
+        self.capacity = capacity_bytes
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.emulation = emulation or DataEmulationPolicy()
+        self.name = name
+        self._lock = sim.lock(f"disk:{name}")
+        self.blocks: Dict[str, BlockRecord] = {}
+        self.physical_used = 0
+        self.logical_stored = 0
+        self.bytes_transferred = 0
+        self.busy_seconds = 0.0
+        self.full_errors: List[DiskFullError] = []
+
+    @property
+    def physical_available(self) -> int:
+        """Remaining physical capacity in bytes."""
+        return self.capacity - self.physical_used
+
+    def write(self, block_id: str, owner: str, logical_size: int):
+        """Process effect: store a block; elapses transfer time.
+
+        Returns the :class:`BlockRecord`.  Raises :class:`DiskFullError`
+        when physical capacity is exhausted -- under faithful storage this
+        is what stops basic colocation of I/O-heavy nodes; under
+        :class:`ZeroByteEmulation` it effectively never triggers.
+        """
+        from .kernel import Acquire, Timeout  # local: avoid import cycle
+
+        if logical_size < 0:
+            raise ValueError("negative block size")
+        physical = self.emulation.physical_size(logical_size)
+        yield Acquire(self._lock)
+        try:
+            # Capacity must be checked under the lock: concurrent writers
+            # would otherwise all pass a stale free-space check and
+            # overcommit the disk.
+            if physical > self.physical_available:
+                error = DiskFullError(owner, physical, self.physical_available)
+                self.full_errors.append(error)
+                raise error
+            transfer = self.emulation.time_charge_bytes(logical_size)
+            duration = transfer / self.bandwidth
+            if duration > 0:
+                yield Timeout(duration)
+            self.busy_seconds += duration
+            self.bytes_transferred += transfer
+            record = BlockRecord(block_id=block_id, owner=owner,
+                                 logical_size=logical_size,
+                                 physical_size=physical)
+            if block_id in self.blocks:
+                self._drop(self.blocks[block_id])
+            self.blocks[block_id] = record
+            self.physical_used += physical
+            self.logical_stored += logical_size
+        finally:
+            self._lock.release()
+        return record
+
+    def read(self, block_id: str):
+        """Process effect: read a block back; elapses transfer time."""
+        from .kernel import Acquire, Timeout
+
+        record = self.blocks.get(block_id)
+        if record is None:
+            raise KeyError(block_id)
+        yield Acquire(self._lock)
+        try:
+            transfer = self.emulation.time_charge_bytes(record.logical_size)
+            duration = transfer / self.bandwidth
+            if duration > 0:
+                yield Timeout(duration)
+            self.busy_seconds += duration
+            self.bytes_transferred += transfer
+        finally:
+            self._lock.release()
+        return record
+
+    def delete(self, block_id: str) -> None:
+        """Drop a stored block (idempotent)."""
+        record = self.blocks.pop(block_id, None)
+        if record is not None:
+            self._drop(record)
+
+    def _drop(self, record: BlockRecord) -> None:
+        self.physical_used -= record.physical_size
+        self.logical_stored -= record.logical_size
+
+    def blocks_for(self, owner: str) -> List[BlockRecord]:
+        """All stored blocks owned by ``owner``."""
+        return [b for b in self.blocks.values() if b.owner == owner]
+
+    def utilization(self) -> float:
+        """Physical capacity fraction in use."""
+        return self.physical_used / self.capacity

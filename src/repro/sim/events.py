@@ -1,0 +1,163 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel (:mod:`repro.sim.kernel`) is a classic calendar-queue simulator:
+every state change in a simulated cluster is an :class:`Event` with a virtual
+firing time.  Determinism is load-bearing for this project -- the paper's
+"order determinism" (section 5) requires that a replayed run observes exactly
+the event order of the recorded run -- so ties are broken by an explicit
+``(time, priority, seq)`` triple and never by object identity or hash order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+
+#: Priority for bookkeeping events that must run before ordinary events at the
+#: same timestamp (e.g. processor-sharing rate updates).
+PRIORITY_HIGH = -10
+
+#: Priority for observation events that must run after ordinary events at the
+#: same timestamp (e.g. metric sampling).
+PRIORITY_LOW = 10
+
+
+@dataclass
+class Event:
+    """A scheduled callback in virtual time.
+
+    Events compare by ``(time, priority, seq)``.  ``seq`` is a global
+    monotonic counter assigned by the :class:`EventQueue`, which makes the
+    ordering a strict total order and therefore reproducible across runs
+    with identical inputs.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None]
+    #: Cancelled events stay in the heap but are skipped on pop.
+    cancelled: bool = False
+    #: Optional human-readable tag used by traces and tests.
+    tag: str = ""
+
+    def cancel(self) -> None:
+        """Mark the event so that the queue drops it instead of firing it."""
+        self.cancelled = True
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """The (time, priority, seq) total-order key."""
+        return (self.time, self.priority, self.seq)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects with lazy cancellation.
+
+    Cancellation is O(1): the event is flagged and skipped when it reaches
+    the top of the heap.  This is the standard approach for simulators with
+    frequent reschedules (the processor-sharing CPU model reschedules its
+    next-completion event on every arrival and departure).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at virtual ``time`` and return its handle."""
+        event = Event(time=time, priority=priority, seq=next(self._counter),
+                      callback=callback, tag=tag)
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            __, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, if any."""
+        while self._heap:
+            __, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event.time
+        return None
+
+    def note_cancelled(self) -> None:
+        """Account for an event cancelled via its handle.
+
+        :meth:`Event.cancel` does not know about the queue, so the owner of
+        the queue calls this to keep ``len()`` accurate.  Accuracy of the
+        counter only affects diagnostics, never correctness.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+
+@dataclass
+class TraceRecord:
+    """One entry of a simulation trace.
+
+    Traces serve two purposes: debugging, and the paper's order-determinism
+    mechanism -- the memoization run records message-delivery order as a list
+    of trace records, and the replayer enforces the same order.
+    """
+
+    time: float
+    kind: str
+    subject: str
+    detail: Any = None
+
+    def key(self) -> Tuple[str, str]:
+        """Order-relevant identity (used when enforcing recorded orders)."""
+        return (self.kind, self.subject)
+
+
+class Trace:
+    """An append-only trace of :class:`TraceRecord` entries."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list = []
+
+    def emit(self, time: float, kind: str, subject: str, detail: Any = None) -> None:
+        """Append a record (no-op when the trace is disabled)."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, kind, subject, detail))
+
+    def filter(self, kind: str) -> list:
+        """Records/entries matching the given criterion."""
+        return [r for r in self.records if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

@@ -1,0 +1,364 @@
+"""The discrete-event simulation kernel.
+
+Simulated node logic is written as Python generators ("processes") that
+``yield`` effect objects -- :class:`Timeout`, :class:`Get`, :class:`Acquire`,
+:class:`Join`, :class:`Compute` -- and are resumed by the kernel when the
+effect completes.  This mirrors how the paper's target systems structure node
+logic as threads blocking on queues, locks, and computation, while keeping
+everything in one OS process and one virtual clock (the paper's section 6
+"global event-driven architecture" made literal).
+
+Example::
+
+    sim = Simulator(seed=1)
+
+    def ticker(sim):
+        while True:
+            yield Timeout(1.0)
+            print("tick at", sim.now)
+
+    sim.spawn(ticker(sim), name="ticker")
+    sim.run(until=5.0)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional
+
+from .events import Event, EventQueue, Trace, PRIORITY_NORMAL
+from .rng import SplittableRng
+
+
+class SimError(RuntimeError):
+    """Base class for kernel errors."""
+
+
+class Effect:
+    """Base class for everything a process may ``yield``.
+
+    Subclasses implement :meth:`enact`, which arranges for
+    ``process.resume(value)`` to be called when the effect completes.
+    """
+
+    def enact(self, sim: "Simulator", process: "Process") -> None:
+        """Arrange for the process to resume when the effect completes."""
+        raise NotImplementedError
+
+
+class Timeout(Effect):
+    """Suspend the process for ``delay`` virtual seconds."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = delay
+
+    def enact(self, sim: "Simulator", process: "Process") -> None:
+        """Arrange for the process to resume when the effect completes."""
+        process.pending_event = sim.schedule(
+            self.delay, lambda: process.resume(None), tag=f"timeout:{process.name}"
+        )
+
+
+class Get(Effect):
+    """Receive the next item from a :class:`Channel` (blocking)."""
+
+    def __init__(self, channel: "Channel") -> None:
+        self.channel = channel
+
+    def enact(self, sim: "Simulator", process: "Process") -> None:
+        """Arrange for the process to resume when the effect completes."""
+        self.channel._register_getter(process)
+
+
+class Acquire(Effect):
+    """Acquire a :class:`Lock` (FIFO, blocking)."""
+
+    def __init__(self, lock: "Lock") -> None:
+        self.lock = lock
+
+    def enact(self, sim: "Simulator", process: "Process") -> None:
+        """Arrange for the process to resume when the effect completes."""
+        self.lock._register_acquirer(process)
+
+
+class Join(Effect):
+    """Wait until another process terminates; resumes with its return value."""
+
+    def __init__(self, other: "Process") -> None:
+        self.other = other
+
+    def enact(self, sim: "Simulator", process: "Process") -> None:
+        """Arrange for the process to resume when the effect completes."""
+        if self.other.finished:
+            sim.schedule(0.0, lambda: process.resume(self.other.result))
+        else:
+            self.other._joiners.append(process)
+
+
+class Compute(Effect):
+    """Execute ``cost`` seconds of CPU demand on a CPU resource.
+
+    The elapsed virtual time depends on the CPU model (dedicated, shared,
+    PIL); the process resumes with the actual elapsed duration.
+    """
+
+    def __init__(self, cpu: "CpuModel", cost: float, tag: str = "") -> None:
+        if cost < 0:
+            raise ValueError(f"negative compute cost: {cost}")
+        self.cpu = cpu
+        self.cost = cost
+        self.tag = tag
+
+    def enact(self, sim: "Simulator", process: "Process") -> None:
+        """Arrange for the process to resume when the effect completes."""
+        self.cpu.submit(self.cost, process, self.tag)
+
+
+class Process:
+    """A running generator, scheduled cooperatively by the kernel."""
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.pending_event: Optional[Event] = None
+        self._joiners: List["Process"] = []
+
+    def resume(self, value: Any) -> None:
+        """Advance the generator with ``value`` and enact its next effect."""
+        if self.finished:
+            return
+        self.pending_event = None
+        try:
+            effect = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # surface process crashes loudly
+            self.error = exc
+            self._finish(None)
+            if self.sim.strict:
+                raise
+            return
+        if not isinstance(effect, Effect):
+            raise SimError(
+                f"process {self.name!r} yielded {effect!r}, expected an Effect"
+            )
+        effect.enact(self.sim, self)
+
+    def interrupt(self) -> None:
+        """Abort the process (used by fault injection)."""
+        if self.finished:
+            return
+        if self.pending_event is not None:
+            self.pending_event.cancel()
+            self.sim.events.note_cancelled()
+            self.pending_event = None
+        self.gen.close()
+        self._finish(None)
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        for joiner in self._joiners:
+            self.sim.schedule(0.0, lambda j=joiner: j.resume(self.result))
+        self._joiners.clear()
+
+
+class Channel:
+    """An unbounded FIFO message queue with blocking receivers.
+
+    Models one SEDA-style stage input queue (e.g. a node's GossipStage).
+    Tracks queueing-delay statistics, which feed the "event lateness"
+    colocation bottleneck from the paper's section 8.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque = deque()
+        self._enqueue_times: Deque[float] = deque()
+        self._getters: Deque[Process] = deque()
+        self.total_enqueued = 0
+        self.total_wait = 0.0
+        self.max_wait = 0.0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes one waiting getter if any."""
+        self.total_enqueued += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            self.sim.schedule(0.0, lambda: getter.resume(item))
+            return
+        self._items.append(item)
+        self._enqueue_times.append(self.sim.now)
+        self.max_depth = max(self.max_depth, len(self._items))
+
+    def _register_getter(self, process: Process) -> None:
+        if self._items:
+            item = self._items.popleft()
+            waited = self.sim.now - self._enqueue_times.popleft()
+            self.total_wait += waited
+            self.max_wait = max(self.max_wait, waited)
+            self.sim.schedule(0.0, lambda: process.resume(item))
+        else:
+            self._getters.append(process)
+
+    def mean_wait(self) -> float:
+        """Mean queueing delay of items that have been dequeued."""
+        dequeued = self.total_enqueued - len(self._items)
+        return self.total_wait / dequeued if dequeued else 0.0
+
+
+class Lock:
+    """A FIFO mutual-exclusion lock in virtual time.
+
+    Models the coarse-grained ring-table lock of CASSANDRA-5456: the
+    pending-range calculation holds it for seconds while the gossip stage
+    blocks.  Hold times are recorded for diagnosis.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._holder: Optional[Process] = None
+        self._waiters: Deque[Process] = deque()
+        self._acquired_at = 0.0
+        self.total_hold = 0.0
+        self.max_hold = 0.0
+        self.total_wait = 0.0
+        self.max_wait = 0.0
+        self.contended_acquires = 0
+        self._wait_started: dict = {}
+
+    @property
+    def held(self) -> bool:
+        """True while some process holds the lock."""
+        return self._holder is not None
+
+    def _register_acquirer(self, process: Process) -> None:
+        if self._holder is None:
+            self._grant(process, waited=0.0)
+        else:
+            self.contended_acquires += 1
+            self._wait_started[id(process)] = self.sim.now
+            self._waiters.append(process)
+
+    def _grant(self, process: Process, waited: float) -> None:
+        self._holder = process
+        self._acquired_at = self.sim.now
+        self.total_wait += waited
+        self.max_wait = max(self.max_wait, waited)
+        self.sim.schedule(0.0, lambda: process.resume(self))
+
+    def release(self) -> None:
+        """Release the lock; the longest-waiting process acquires next."""
+        if self._holder is None:
+            raise SimError(f"release of unheld lock {self.name!r}")
+        held_for = self.sim.now - self._acquired_at
+        self.total_hold += held_for
+        self.max_hold = max(self.max_hold, held_for)
+        self._holder = None
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            waited = self.sim.now - self._wait_started.pop(id(nxt))
+            self._grant(nxt, waited)
+
+
+class Simulator:
+    """The virtual-time event loop.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all named random streams (:class:`SplittableRng`).
+    trace:
+        When true, record a :class:`~repro.sim.events.Trace` of message
+        deliveries and other annotated happenings.
+    strict:
+        When true (the default), an exception inside a process propagates
+        out of :meth:`run` instead of silently killing the process.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False, strict: bool = True) -> None:
+        self.now = 0.0
+        self.events = EventQueue()
+        self.rng = SplittableRng(seed)
+        self.trace = Trace(enabled=trace)
+        self.strict = strict
+        self.processes: List[Process] = []
+        self._steps = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+        tag: str = "",
+    ) -> Event:
+        """Run ``callback`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        return self.events.push(self.now + delay, callback, priority, tag)
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Start a generator as a process at the current time."""
+        process = Process(self, gen, name)
+        self.processes.append(process)
+        self.schedule(0.0, lambda: process.resume(None), tag=f"spawn:{name}")
+        return process
+
+    def channel(self, name: str = "") -> Channel:
+        """Create a new FIFO channel."""
+        return Channel(self, name)
+
+    def lock(self, name: str = "") -> Lock:
+        """Create a new FIFO lock."""
+        return Lock(self, name)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the earliest event.  Returns False when the queue is empty."""
+        event = self.events.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimError(
+                f"time went backwards: {event.time} < {self.now} ({event.tag})"
+            )
+        self.now = event.time
+        self._steps += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or step budget ends."""
+        budget = max_steps if max_steps is not None else float("inf")
+        while budget > 0:
+            next_time = self.events.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            self.step()
+            budget -= 1
+        if until is not None and self.now < until and self.events.peek_time() is None:
+            self.now = until
+
+    @property
+    def steps(self) -> int:
+        """Number of events fired so far (diagnostic)."""
+        return self._steps

@@ -1,0 +1,150 @@
+"""Memory accounting for colocated nodes.
+
+Section 6 of the paper lists memory exhaustion as the second colocation
+bottleneck: managed-runtime overhead (~70 MB per Java process), per-thread
+stacks, and "space-oblivious" code such as a rebalance protocol that
+over-allocates ``(N-1) x P x 1.3 MB`` of partition services per node.  This
+module models a machine's DRAM as a strict budget so that packing too many
+nodes produces out-of-memory faults, which the colocation-limit search
+(section 8: max factor ~512 on a 32 GB machine) detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation would exceed the machine's DRAM budget."""
+
+    def __init__(self, owner: str, label: str, requested: int, available: int) -> None:
+        super().__init__(
+            f"OOM: {owner} requested {requested / MB:.1f} MB for {label!r} "
+            f"but only {available / MB:.1f} MB available"
+        )
+        self.owner = owner
+        self.label = label
+        self.requested = requested
+        self.available = available
+
+
+@dataclass
+class Allocation:
+    """A live allocation; free it via :meth:`MachineMemory.free`."""
+
+    owner: str
+    label: str
+    size: int
+    alloc_id: int
+
+
+class MachineMemory:
+    """A machine's DRAM budget with per-owner accounting."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity_bytes
+        self.used = 0
+        self.peak = 0
+        self._next_id = 0
+        self._live: Dict[int, Allocation] = {}
+        self.oom_events: List[OutOfMemoryError] = []
+
+    @property
+    def available(self) -> int:
+        """Remaining capacity in bytes."""
+        return self.capacity - self.used
+
+    def allocate(self, owner: str, size: int, label: str = "") -> Allocation:
+        """Allocate ``size`` bytes for ``owner`` or raise :class:`OutOfMemoryError`."""
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        if size > self.available:
+            error = OutOfMemoryError(owner, label, size, self.available)
+            self.oom_events.append(error)
+            raise error
+        self._next_id += 1
+        allocation = Allocation(owner=owner, label=label, size=size,
+                                alloc_id=self._next_id)
+        self._live[allocation.alloc_id] = allocation
+        self.used += size
+        self.peak = max(self.peak, self.used)
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Release an allocation (idempotent)."""
+        if self._live.pop(allocation.alloc_id, None) is not None:
+            self.used -= allocation.size
+
+    def free_owner(self, owner: str) -> int:
+        """Free every live allocation belonging to ``owner``; returns bytes freed."""
+        freed = 0
+        for alloc_id in [a for a, alloc in self._live.items() if alloc.owner == owner]:
+            freed += self._live[alloc_id].size
+            self.used -= self._live[alloc_id].size
+            del self._live[alloc_id]
+        return freed
+
+    def usage_by_owner(self) -> Dict[str, int]:
+        """Live bytes grouped by owner."""
+        usage: Dict[str, int] = {}
+        for alloc in self._live.values():
+            usage[alloc.owner] = usage.get(alloc.owner, 0) + alloc.size
+        return usage
+
+    def utilization(self) -> float:
+        """Fraction of capacity in use."""
+        return self.used / self.capacity
+
+
+@dataclass
+class NodeMemoryProfile:
+    """How much memory one colocated node consumes, by component.
+
+    Defaults follow the paper's section 6 observations for a JVM-based node.
+    All sizes in bytes.
+    """
+
+    runtime_overhead: int = 70 * MB       # managed-runtime baseline per process
+    per_thread_stack: int = 512 * 1024    # daemon thread stacks
+    daemon_threads: int = 8               # gossiper, FD, stages, ...
+    ring_entry_bytes: int = 512           # ring-table entry per (node, vnode)
+    partition_service_bytes: int = int(1.3 * MB)  # section 6 example
+
+    def baseline(self) -> int:
+        """Memory consumed by a node at boot, before ring state."""
+        return self.runtime_overhead + self.daemon_threads * self.per_thread_stack
+
+    def ring_table(self, nodes: int, vnodes_per_node: int) -> int:
+        """Ring-table size for a cluster of ``nodes`` with ``vnodes_per_node``."""
+        return nodes * vnodes_per_node * self.ring_entry_bytes
+
+    def rebalance_overallocation(self, nodes: int, vnodes_per_node: int) -> int:
+        """The space-oblivious rebalance bug: (N-1) x P x 1.3 MB per node."""
+        return max(0, nodes - 1) * vnodes_per_node * self.partition_service_bytes
+
+    def rebalance_needed(self, vnodes_per_node: int) -> int:
+        """What the rebalance actually needs at the end: P x 1.3 MB."""
+        return vnodes_per_node * self.partition_service_bytes
+
+
+def single_process_profile(profile: NodeMemoryProfile) -> NodeMemoryProfile:
+    """The scale-checkable redesign of section 6: all nodes in one process.
+
+    Running every node inside one process amortizes the managed-runtime
+    overhead (modelled as zero marginal overhead per node) and replaces
+    per-node daemon threads with a shared event loop (one lightweight
+    bookkeeping structure per node instead of full thread stacks).
+    """
+    return NodeMemoryProfile(
+        runtime_overhead=2 * MB,          # per-node bookkeeping only
+        per_thread_stack=16 * 1024,       # event-loop continuation state
+        daemon_threads=profile.daemon_threads,
+        ring_entry_bytes=profile.ring_entry_bytes,
+        partition_service_bytes=profile.partition_service_bytes,
+    )

@@ -1,0 +1,237 @@
+"""Point-to-point messaging between simulated nodes.
+
+Messages are delivered into per-node inbox :class:`~repro.sim.kernel.Channel`
+objects after a configurable latency.  Two features exist specifically for
+the paper's mechanism:
+
+* every delivery is traced with a *deterministic message key*, which is what
+  the memoization run records as the message ordering;
+* :class:`OrderEnforcer` lets the replayer hold back deliveries so they are
+  released exactly in a previously recorded order ("order determinism",
+  section 5) even though PIL-substituted durations shift the raw timing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .kernel import Channel, Simulator
+
+
+@dataclass
+class Message:
+    """One message in flight."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    send_time: float
+    key: str  # deterministic identity: "src>dst:kind#n"
+
+    def __repr__(self) -> str:  # keep traces compact
+        return f"<Message {self.key} @{self.send_time:.3f}>"
+
+
+class LatencyModel:
+    """Per-message latency: ``base`` plus uniform jitter from a named stream."""
+
+    def __init__(self, base: float = 0.0005, jitter: float = 0.0005) -> None:
+        if base < 0 or jitter < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.base = base
+        self.jitter = jitter
+
+    def sample(self, sim: Simulator, src: str, dst: str) -> float:
+        """Sample a value."""
+        if self.jitter == 0.0:
+            return self.base
+        return self.base + sim.rng.uniform("net-jitter", 0.0, self.jitter)
+
+
+class OrderEnforcer:
+    """Releases deliveries in a previously recorded global order.
+
+    The enforcer is given the recorded sequence of message keys.  When a
+    message becomes deliverable, it is released only if its key is the next
+    unreleased recorded key; otherwise it parks until its turn.  Keys absent
+    from the recording (messages the recorded run never saw) are released
+    immediately -- the cache-miss policy that keeps replay live when code
+    under debug changes slightly.
+    """
+
+    def __init__(self, recorded_order: List[str]) -> None:
+        self._positions: Dict[str, int] = {}
+        for idx, key in enumerate(recorded_order):
+            # first occurrence wins; keys are unique by construction
+            self._positions.setdefault(key, idx)
+        self._order = recorded_order
+        self._cursor = 0
+        self._parked: Dict[str, Tuple[Message, Callable[[Message], None]]] = {}
+        self._skipped: set = set()
+        self.released_in_order = 0
+        self.released_unrecorded = 0
+        self.skips = 0
+
+    def offer(self, message: Message, deliver: Callable[[Message], None]) -> None:
+        """Deliver now or park until the recorded order permits."""
+        if message.key not in self._positions or message.key in self._skipped:
+            self.released_unrecorded += 1
+            deliver(message)
+            return
+        self._parked[message.key] = (message, deliver)
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._cursor < len(self._order):
+            key = self._order[self._cursor]
+            if key in self._skipped:
+                self._cursor += 1
+                continue
+            if key not in self._parked:
+                break
+            message, deliver = self._parked.pop(key)
+            self._cursor += 1
+            self.released_in_order += 1
+            deliver(message)
+
+    def skip_stalled(self) -> int:
+        """Unblock a stalled replay: skip recorded keys that have not been
+        produced, up to the next one that is parked and deliverable.
+
+        A replayed run whose code under debug changed slightly may never
+        produce some recorded messages; a strict enforcer would park all
+        their successors forever.  Skipped keys are remembered, so if the
+        message materializes later it is released immediately.  Returns the
+        number of keys skipped.
+        """
+        skipped = 0
+        while self._cursor < len(self._order):
+            key = self._order[self._cursor]
+            if key in self._parked:
+                break
+            self._skipped.add(key)
+            self._cursor += 1
+            skipped += 1
+        self.skips += skipped
+        if skipped:
+            self._drain()
+        return skipped
+
+    @property
+    def parked_count(self) -> int:
+        """Messages currently held back by the enforcer."""
+        return len(self._parked)
+
+    @property
+    def stalled(self) -> bool:
+        """True when parked messages exist but none is the next in order."""
+        if not self._parked:
+            return False
+        if self._cursor >= len(self._order):
+            return False
+        return self._order[self._cursor] not in self._parked
+
+
+class Network:
+    """The cluster message fabric.
+
+    Nodes register an inbox channel under their node id; ``send`` schedules a
+    delivery after sampled latency.  A :class:`Partition` API supports
+    failure injection (drop all messages crossing a cut).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        enforcer: Optional[OrderEnforcer] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else LatencyModel()
+        self.enforcer = enforcer
+        self._inboxes: Dict[str, Channel] = {}
+        self._seq: Dict[Tuple[str, str, str], int] = defaultdict(int)
+        self._down: set = set()
+        self._cut_pairs: set = set()
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.delivery_log: List[str] = []
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, node_id: str, inbox: Channel) -> None:
+        """Attach ``inbox`` as the address ``node_id``."""
+        if node_id in self._inboxes:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        self._inboxes[node_id] = inbox
+
+    def deregister(self, node_id: str) -> None:
+        """Remove an address (idempotent)."""
+        self._inboxes.pop(node_id, None)
+
+    def known_nodes(self) -> List[str]:
+        """All registered addresses, sorted."""
+        return sorted(self._inboxes)
+
+    # -- failure injection ----------------------------------------------------
+
+    def crash(self, node_id: str) -> None:
+        """Silently drop all future traffic to/from ``node_id``."""
+        self._down.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        """Undo a crash for ``node_id``."""
+        self._down.discard(node_id)
+
+    def partition(self, side_a: List[str], side_b: List[str]) -> None:
+        """Drop messages crossing between the two sides."""
+        for a in side_a:
+            for b in side_b:
+                self._cut_pairs.add((a, b))
+                self._cut_pairs.add((b, a))
+
+    def heal(self) -> None:
+        """Remove all partition cuts."""
+        self._cut_pairs.clear()
+
+    # -- sending --------------------------------------------------------------
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> Optional[Message]:
+        """Send a message; returns the message or None if dropped."""
+        self.sent += 1
+        if (src in self._down or dst in self._down
+                or (src, dst) in self._cut_pairs or dst not in self._inboxes):
+            self.dropped += 1
+            return None
+        triple = (src, dst, kind)
+        self._seq[triple] += 1
+        key = f"{src}>{dst}:{kind}#{self._seq[triple]}"
+        message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                          send_time=self.sim.now, key=key)
+        delay = self.latency.sample(self.sim, src, dst)
+        self.sim.schedule(delay, lambda: self._arrive(message),
+                          tag=f"net:{key}")
+        return message
+
+    def _arrive(self, message: Message) -> None:
+        if message.dst in self._down or message.dst not in self._inboxes:
+            self.dropped += 1
+            return
+        if self.enforcer is not None:
+            self.enforcer.offer(message, self._deliver)
+        else:
+            self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        inbox = self._inboxes.get(message.dst)
+        if inbox is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        self.delivery_log.append(message.key)
+        self.sim.trace.emit(self.sim.now, "deliver", message.key)
+        inbox.put(message)

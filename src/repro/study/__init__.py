@@ -1,0 +1,32 @@
+"""The 38-bug scalability-bug study (paper sections 2-4)."""
+
+from .analysis import (
+    PopulationSummary,
+    render_population_table,
+    summarize,
+    surfaced_scale_histogram,
+    verify_against_paper,
+)
+from .database import (
+    BugRecord,
+    BugStudy,
+    CAUSE_CPU,
+    CAUSE_SERIALIZED,
+    PROTOCOLS,
+)
+from .records import PAPER_SYSTEM_COUNTS, default_study
+
+__all__ = [
+    "BugRecord",
+    "BugStudy",
+    "CAUSE_CPU",
+    "CAUSE_SERIALIZED",
+    "PAPER_SYSTEM_COUNTS",
+    "PROTOCOLS",
+    "PopulationSummary",
+    "default_study",
+    "render_population_table",
+    "summarize",
+    "surfaced_scale_histogram",
+    "verify_against_paper",
+]

@@ -1,0 +1,130 @@
+"""Aggregate analyses over the bug study: the paper's quoted statistics.
+
+Regenerates every population-level number in sections 2-4:
+
+* per-system bug counts ("9 Cassandra, 5 Couchbase, 2 Hadoop, 9 HBase,
+  11 HDFS, 1 Riak, and 1 Voldemort");
+* the footnote-1 root-cause split (47% scale-dependent CPU computation vs
+  53% unexpected O(N) serialization);
+* fix-duration statistics ("1 month to fix on average, maximum 5 months");
+* protocol diversity (section 3's "diverse protocols" observation);
+* the title claim, quantified: what fraction of the population is missed
+  by testing at 100 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .database import BugStudy, CAUSE_CPU, CAUSE_SERIALIZED
+from .records import PAPER_SYSTEM_COUNTS
+
+
+@dataclass
+class PopulationSummary:
+    """All paper-quoted aggregates in one record."""
+
+    total: int
+    by_system: Dict[str, int]
+    cpu_count: int
+    cpu_fraction: float
+    serialized_count: int
+    serialized_fraction: float
+    mean_fix_days: float
+    max_fix_days: float
+    protocols: List[str]
+    missed_at_100: float
+
+
+def summarize(study: BugStudy) -> PopulationSummary:
+    """Compute the :class:`PopulationSummary` of a study."""
+    split = study.root_cause_split()
+    fix = study.fix_duration_stats()
+    return PopulationSummary(
+        total=len(study),
+        by_system=study.counts_by_system(),
+        cpu_count=split[CAUSE_CPU][0],
+        cpu_fraction=split[CAUSE_CPU][1],
+        serialized_count=split[CAUSE_SERIALIZED][0],
+        serialized_fraction=split[CAUSE_SERIALIZED][1],
+        mean_fix_days=fix["mean_days"],
+        max_fix_days=fix["max_days"],
+        protocols=study.protocols(),
+        missed_at_100=study.fraction_missed_at(100),
+    )
+
+
+def verify_against_paper(study: BugStudy) -> List[str]:
+    """Check the population against every aggregate the paper quotes.
+
+    Returns a list of mismatch descriptions (empty = faithful population).
+    """
+    problems: List[str] = []
+    summary = summarize(study)
+    if summary.total != 38:
+        problems.append(f"expected 38 bugs, have {summary.total}")
+    for system, expected in PAPER_SYSTEM_COUNTS.items():
+        actual = summary.by_system.get(system, 0)
+        if actual != expected:
+            problems.append(f"{system}: expected {expected}, have {actual}")
+    # Footnote 1: 47% CPU-heavy.  47% of 38 is 17.86 -> 18 bugs.
+    if summary.cpu_count != 18:
+        problems.append(f"expected 18 CPU-cause bugs, have {summary.cpu_count}")
+    if not 0.45 <= summary.cpu_fraction <= 0.49:
+        problems.append(f"CPU fraction {summary.cpu_fraction:.2f} not ~47%")
+    # Section 3: ~1 month mean, 5 months max.
+    if not 25 <= summary.mean_fix_days <= 37:
+        problems.append(f"mean fix {summary.mean_fix_days:.1f}d not ~1 month")
+    if summary.max_fix_days != 150:
+        problems.append(f"max fix {summary.max_fix_days:.0f}d not 5 months")
+    # Section 3: diverse protocols, at least the five membership ones.
+    required = {"bootstrap", "scale-out", "decommission", "rebalance", "failover"}
+    missing = required - set(summary.protocols)
+    if missing:
+        problems.append(f"missing protocols: {sorted(missing)}")
+    return problems
+
+
+def render_population_table(study: BugStudy) -> str:
+    """The section 2 population table as text."""
+    summary = summarize(study)
+    lines = ["scalability-bug study population (paper sections 2-4)",
+             f"{'system':>12} {'bugs':>5}"]
+    for system, count in sorted(summary.by_system.items()):
+        lines.append(f"{system:>12} {count:>5d}")
+    lines.append(f"{'total':>12} {summary.total:>5d}")
+    lines.append("")
+    lines.append(
+        f"root causes: {summary.cpu_count} scale-dependent CPU "
+        f"({summary.cpu_fraction:.0%}) vs {summary.serialized_count} "
+        f"serialized O(N) ({summary.serialized_fraction:.0%})"
+    )
+    lines.append(
+        f"time to fix: mean {summary.mean_fix_days:.0f} days, "
+        f"max {summary.max_fix_days:.0f} days"
+    )
+    lines.append(f"protocols: {', '.join(summary.protocols)}")
+    lines.append(
+        f"missed by 100-node testing: {summary.missed_at_100:.0%} of bugs"
+    )
+    return "\n".join(lines)
+
+
+def surfaced_scale_histogram(study: BugStudy,
+                             edges: Tuple[int, ...] = (50, 100, 200, 500, 1000)
+                             ) -> Dict[str, int]:
+    """Histogram of the scales at which symptoms surfaced."""
+    histogram: Dict[str, int] = {}
+    previous = 0
+    for edge in edges:
+        label = f"{previous + 1}-{edge}"
+        histogram[label] = sum(
+            1 for record in study
+            if previous < record.surfaced_at_nodes <= edge
+        )
+        previous = edge
+    histogram[f">{edges[-1]}"] = sum(
+        1 for record in study if record.surfaced_at_nodes > edges[-1]
+    )
+    return histogram

@@ -1,0 +1,152 @@
+"""Schema and query layer for the scalability-bug study (paper sections 2-3).
+
+The paper studies 38 scalability bugs mined from the issue trackers of seven
+systems.  :class:`BugRecord` captures the dimensions the paper aggregates
+over: system, protocol, root-cause category (the 47%/53% split of footnote
+1), the deployment scale at which symptoms surfaced, and time-to-fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable, Dict, Iterable, List, Tuple
+
+# Root-cause categories (paper section 4, footnote 1).
+CAUSE_CPU = "scale-dependent-cpu"
+CAUSE_SERIALIZED = "serialized-linear"
+
+# Protocols (paper section 3: "bootstrap, scale-out, decommission,
+# rebalance, and failover protocols, all must be tested at scale").
+PROTOCOLS = (
+    "bootstrap",
+    "scale-out",
+    "decommission",
+    "rebalance",
+    "failover",
+    "read-write",
+    "metadata",
+)
+
+
+@dataclass(frozen=True)
+class BugRecord:
+    """One studied scalability bug."""
+
+    bug_id: str
+    system: str
+    title: str
+    protocol: str
+    root_cause: str            # CAUSE_CPU or CAUSE_SERIALIZED
+    complexity: str            # e.g. "O(M N^3 log^3 N)"
+    surfaced_at_nodes: int     # deployment scale where symptoms appeared
+    fix_days: int              # time from report to fix
+    symptom: str               # flapping, unavailability, oom, timeout, ...
+    #: True if the paper names this exact ticket; False for records
+    #: reconstructed to match the paper's aggregate statistics.
+    named_in_paper: bool = False
+    url: str = ""
+
+    def __post_init__(self) -> None:
+        if self.root_cause not in (CAUSE_CPU, CAUSE_SERIALIZED):
+            raise ValueError(f"unknown root cause {self.root_cause!r}")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.fix_days <= 0:
+            raise ValueError("fix_days must be positive")
+        if self.surfaced_at_nodes <= 0:
+            raise ValueError("surfaced_at_nodes must be positive")
+
+
+class BugStudy:
+    """Query interface over a bug population."""
+
+    def __init__(self, records: Iterable[BugRecord]) -> None:
+        self.records: List[BugRecord] = list(records)
+        ids = [record.bug_id for record in self.records]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate bug ids in study")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- the paper's aggregates -------------------------------------------------
+
+    def counts_by_system(self) -> Dict[str, int]:
+        """Bug counts per system."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.system] = counts.get(record.system, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def root_cause_split(self) -> Dict[str, Tuple[int, float]]:
+        """Category -> (count, fraction).  The paper: 47% CPU vs 53% O(N)."""
+        total = len(self.records)
+        split: Dict[str, Tuple[int, float]] = {}
+        for cause in (CAUSE_CPU, CAUSE_SERIALIZED):
+            count = sum(1 for r in self.records if r.root_cause == cause)
+            split[cause] = (count, count / total if total else 0.0)
+        return split
+
+    def fix_duration_stats(self) -> Dict[str, float]:
+        """Mean/max/min days-to-fix.  The paper: ~1 month mean, 5 month max."""
+        days = [record.fix_days for record in self.records]
+        return {
+            "mean_days": mean(days) if days else 0.0,
+            "max_days": float(max(days, default=0)),
+            "min_days": float(min(days, default=0)),
+        }
+
+    def protocols(self) -> List[str]:
+        """Distinct protocols represented, sorted."""
+        return sorted({record.protocol for record in self.records})
+
+    def counts_by_protocol(self) -> Dict[str, int]:
+        """Bug counts per protocol."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.protocol] = counts.get(record.protocol, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def surfaced_scale_distribution(self) -> List[int]:
+        """Sorted scales at which symptoms surfaced."""
+        return sorted(record.surfaced_at_nodes for record in self.records)
+
+    def surfacing_above(self, nodes: int) -> List[BugRecord]:
+        """Bugs whose symptoms needed more than ``nodes`` nodes -- the bugs
+        that 'N-node testing' misses (the paper's title claim)."""
+        return [r for r in self.records if r.surfaced_at_nodes > nodes]
+
+    def fraction_missed_at(self, nodes: int) -> float:
+        """Fraction of the population invisible to testing at ``nodes``."""
+        if not self.records:
+            return 0.0
+        return len(self.surfacing_above(nodes)) / len(self.records)
+
+    # -- generic filters -----------------------------------------------------------
+
+    def filter(self, predicate: Callable[[BugRecord], bool]) -> "BugStudy":
+        """Records/entries matching the given criterion."""
+        return BugStudy(record for record in self.records if predicate(record))
+
+    def by_system(self, system: str) -> "BugStudy":
+        """Sub-study restricted to one system."""
+        return self.filter(lambda record: record.system == system)
+
+    def by_cause(self, cause: str) -> "BugStudy":
+        """Sub-study restricted to one root-cause category."""
+        return self.filter(lambda record: record.root_cause == cause)
+
+    def named_in_paper(self) -> "BugStudy":
+        """Sub-study of records the paper names explicitly."""
+        return self.filter(lambda record: record.named_in_paper)
+
+    def get(self, bug_id: str) -> BugRecord:
+        """Look up an entry; returns None when absent."""
+        for record in self.records:
+            if record.bug_id == bug_id:
+                return record
+        raise KeyError(bug_id)

@@ -1,0 +1,333 @@
+"""The 38-bug study population.
+
+The paper reports studying 38 scalability bugs: 9 Cassandra, 5 Couchbase,
+2 Hadoop, 9 HBase, 11 HDFS, 1 Riak, and 1 Voldemort, split 47% / 53%
+between scale-dependent CPU computation and unexpected O(N) serialization
+(footnote 1), with a mean time-to-fix around one month and a maximum of
+five months (section 3).
+
+The paper names six Cassandra tickets explicitly (3831, 3881, 5456, 6127,
+6345, 6409); those records carry ``named_in_paper=True`` and their public
+JIRA metadata.  The remaining 32 records are **reconstructions**: plausible
+bugs of the kinds the paper describes, crafted so that every aggregate the
+paper quotes (per-system counts, the 47/53 root-cause split, fix-time
+statistics, protocol diversity, surface-at-scale distribution) is
+reproduced exactly by :mod:`repro.study.analysis`.  They are labelled
+``named_in_paper=False`` so downstream users never mistake them for mined
+ticket data.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .database import BugRecord, BugStudy, CAUSE_CPU, CAUSE_SERIALIZED
+
+_JIRA = "https://issues.apache.org/jira/browse/"
+
+
+def _paper_named() -> List[BugRecord]:
+    return [
+        BugRecord(
+            bug_id="CASSANDRA-3831", system="cassandra",
+            title="scaling to large clusters in GossipStage impossible due to "
+                  "calculatePendingRanges",
+            protocol="decommission", root_cause=CAUSE_CPU,
+            complexity="O(M N^3 log^3 N)", surfaced_at_nodes=200, fix_days=40,
+            symptom="flapping", named_in_paper=True,
+            url=_JIRA + "CASSANDRA-3831",
+        ),
+        BugRecord(
+            bug_id="CASSANDRA-3881", system="cassandra",
+            title="reduce computational complexity of processing topology changes",
+            protocol="scale-out", root_cause=CAUSE_CPU,
+            complexity="O(M (NP)^2 log^2(NP))", surfaced_at_nodes=128, fix_days=21,
+            symptom="flapping", named_in_paper=True,
+            url=_JIRA + "CASSANDRA-3881",
+        ),
+        BugRecord(
+            bug_id="CASSANDRA-5456", system="cassandra",
+            title="large number of bootstrapping nodes cause gossip to stop working",
+            protocol="scale-out", root_cause=CAUSE_CPU,
+            complexity="coarse lock x O(M NP log^2(NP))", surfaced_at_nodes=250,
+            fix_days=35, symptom="flapping", named_in_paper=True,
+            url=_JIRA + "CASSANDRA-5456",
+        ),
+        BugRecord(
+            bug_id="CASSANDRA-6127", system="cassandra",
+            title="vnodes don't scale to hundreds of nodes",
+            protocol="bootstrap", root_cause=CAUSE_CPU,
+            complexity="O(M N^2) fresh ring construction", surfaced_at_nodes=500,
+            fix_days=150, symptom="flapping", named_in_paper=True,
+            url=_JIRA + "CASSANDRA-6127",
+        ),
+        BugRecord(
+            bug_id="CASSANDRA-6345", system="cassandra",
+            title="endpoint cache invalidation causes gossip back-pressure at scale",
+            protocol="rebalance", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) cache rebuild per topology change",
+            surfaced_at_nodes=300, fix_days=28, symptom="flapping",
+            named_in_paper=True, url=_JIRA + "CASSANDRA-6345",
+        ),
+        BugRecord(
+            bug_id="CASSANDRA-6409", system="cassandra",
+            title="gossip state accumulation serializes message processing",
+            protocol="scale-out", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) per gossip message", surfaced_at_nodes=350,
+            fix_days=30, symptom="flapping", named_in_paper=True,
+            url=_JIRA + "CASSANDRA-6409",
+        ),
+    ]
+
+
+def _reconstructed() -> List[BugRecord]:
+    return [
+        # -- Cassandra (3 more; 9 total) -------------------------------------
+        BugRecord(
+            bug_id="cassandra-recon-1", system="cassandra",
+            title="schema agreement check compares all endpoint versions pairwise",
+            protocol="metadata", root_cause=CAUSE_CPU,
+            complexity="O(N^2)", surfaced_at_nodes=180, fix_days=25,
+            symptom="schema disagreement storms",
+        ),
+        BugRecord(
+            bug_id="cassandra-recon-2", system="cassandra",
+            title="hint dispatch recomputes target replica sets for every host",
+            protocol="failover", root_cause=CAUSE_CPU,
+            complexity="O(N^2)", surfaced_at_nodes=220, fix_days=30,
+            symptom="write timeouts after failover",
+        ),
+        BugRecord(
+            bug_id="cassandra-recon-3", system="cassandra",
+            title="joining nodes contact seeds serially before first gossip round",
+            protocol="bootstrap", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) serial seed probes", surfaced_at_nodes=400,
+            fix_days=14, symptom="slow cluster bring-up",
+        ),
+        # -- Couchbase (5) -----------------------------------------------------
+        BugRecord(
+            bug_id="couchbase-recon-1", system="couchbase",
+            title="vbucket map computation explodes during rebalance",
+            protocol="rebalance", root_cause=CAUSE_CPU,
+            complexity="O(V N^2)", surfaced_at_nodes=100, fix_days=45,
+            symptom="rebalance stalls",
+        ),
+        BugRecord(
+            bug_id="couchbase-recon-2", system="couchbase",
+            title="replication chain planning recomputed per moved vbucket",
+            protocol="rebalance", root_cause=CAUSE_CPU,
+            complexity="O(N^2)", surfaced_at_nodes=80, fix_days=30,
+            symptom="rebalance CPU saturation",
+        ),
+        BugRecord(
+            bug_id="couchbase-recon-3", system="couchbase",
+            title="per-node failover watchers fire serially",
+            protocol="failover", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) serial watcher callbacks", surfaced_at_nodes=64,
+            fix_days=21, symptom="delayed failover",
+        ),
+        BugRecord(
+            bug_id="couchbase-recon-4", system="couchbase",
+            title="janitor rescans every vbucket on each node join",
+            protocol="scale-out", root_cause=CAUSE_SERIALIZED,
+            complexity="O(V) per join", surfaced_at_nodes=90, fix_days=25,
+            symptom="join latency grows with cluster",
+        ),
+        BugRecord(
+            bug_id="couchbase-recon-5", system="couchbase",
+            title="config broadcast re-sends full map to every node per change",
+            protocol="metadata", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) per config change", surfaced_at_nodes=120,
+            fix_days=14, symptom="config propagation lag",
+        ),
+        # -- Hadoop (2) ---------------------------------------------------------
+        BugRecord(
+            bug_id="hadoop-recon-1", system="hadoop",
+            title="scheduler re-sorts all nodes on every heartbeat",
+            protocol="scale-out", root_cause=CAUSE_CPU,
+            complexity="O(N^2) per scheduling round", surfaced_at_nodes=2000,
+            fix_days=60, symptom="scheduler throughput collapse",
+        ),
+        BugRecord(
+            bug_id="hadoop-recon-2", system="hadoop",
+            title="heartbeat processing serialized under one tracker lock",
+            protocol="metadata", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) serial heartbeats", surfaced_at_nodes=3500,
+            fix_days=40, symptom="lost task trackers",
+        ),
+        # -- HBase (9) -------------------------------------------------------------
+        BugRecord(
+            bug_id="hbase-recon-1", system="hbase",
+            title="balancer evaluates all region-pair moves",
+            protocol="rebalance", root_cause=CAUSE_CPU,
+            complexity="O(R^2)", surfaced_at_nodes=300, fix_days=50,
+            symptom="balancer runs for hours",
+        ),
+        BugRecord(
+            bug_id="hbase-recon-2", system="hbase",
+            title="master recomputes full assignment plan per dead server",
+            protocol="failover", root_cause=CAUSE_CPU,
+            complexity="O(R N)", surfaced_at_nodes=200, fix_days=45,
+            symptom="slow recovery, regions offline",
+        ),
+        BugRecord(
+            bug_id="hbase-recon-3", system="hbase",
+            title="each regionserver scans meta fully at startup",
+            protocol="bootstrap", root_cause=CAUSE_CPU,
+            complexity="O(R N)", surfaced_at_nodes=150, fix_days=30,
+            symptom="cluster start takes hours",
+        ),
+        BugRecord(
+            bug_id="hbase-recon-4", system="hbase",
+            title="region plan recomputation quadratic in regions",
+            protocol="metadata", root_cause=CAUSE_CPU,
+            complexity="O(R^2)", surfaced_at_nodes=250, fix_days=35,
+            symptom="master busy-loop",
+        ),
+        BugRecord(
+            bug_id="hbase-recon-5", system="hbase",
+            title="zookeeper watch storm on every node join",
+            protocol="scale-out", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) watches fired serially", surfaced_at_nodes=100,
+            fix_days=21, symptom="zk session expirations",
+        ),
+        BugRecord(
+            bug_id="hbase-recon-6", system="hbase",
+            title="log splitting after failover proceeds file-by-file",
+            protocol="failover", root_cause=CAUSE_SERIALIZED,
+            complexity="O(R) serial splits", surfaced_at_nodes=180, fix_days=28,
+            symptom="minutes of unavailability",
+        ),
+        BugRecord(
+            bug_id="hbase-recon-7", system="hbase",
+            title="assignment manager lock serializes region transitions",
+            protocol="metadata", root_cause=CAUSE_SERIALIZED,
+            complexity="O(R) under one lock", surfaced_at_nodes=220, fix_days=30,
+            symptom="assignment backlog",
+        ),
+        BugRecord(
+            bug_id="hbase-recon-8", system="hbase",
+            title="meta region becomes O(N) lookup hotspot",
+            protocol="read-write", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) lookups on one server", surfaced_at_nodes=400,
+            fix_days=14, symptom="read latency spikes",
+        ),
+        BugRecord(
+            bug_id="hbase-recon-9", system="hbase",
+            title="regions opened sequentially at cluster start",
+            protocol="bootstrap", root_cause=CAUSE_SERIALIZED,
+            complexity="O(R) serial opens", surfaced_at_nodes=120, fix_days=21,
+            symptom="slow start",
+        ),
+        # -- HDFS (11) -----------------------------------------------------------------
+        BugRecord(
+            bug_id="hdfs-recon-1", system="hdfs",
+            title="full block reports processed under the namenode lock",
+            protocol="failover", root_cause=CAUSE_CPU,
+            complexity="O(B) under global lock", surfaced_at_nodes=1000,
+            fix_days=60, symptom="namenode pauses",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-2", system="hdfs",
+            title="replication monitor rescans all blocks per decommission",
+            protocol="decommission", root_cause=CAUSE_CPU,
+            complexity="O(B N)", surfaced_at_nodes=600, fix_days=45,
+            symptom="decommission takes days",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-3", system="hdfs",
+            title="quota recomputation walks the whole namespace on edit replay",
+            protocol="metadata", root_cause=CAUSE_CPU,
+            complexity="O(F)", surfaced_at_nodes=800, fix_days=40,
+            symptom="standby lag",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-4", system="hdfs",
+            title="balancer compares every datanode pair for source selection",
+            protocol="rebalance", root_cause=CAUSE_CPU,
+            complexity="O(N^2)", surfaced_at_nodes=500, fix_days=30,
+            symptom="balancer planning dominates runtime",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-5", system="hdfs",
+            title="initial block reports admitted one datanode at a time",
+            protocol="bootstrap", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) serial admissions", surfaced_at_nodes=700,
+            fix_days=21, symptom="cold-start takes hours",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-6", system="hdfs",
+            title="datanode registration serialized by a global lock",
+            protocol="scale-out", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) registrations", surfaced_at_nodes=1200,
+            fix_days=25, symptom="registration timeouts",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-7", system="hdfs",
+            title="standby catch-up applies edits single-threaded",
+            protocol="failover", root_cause=CAUSE_SERIALIZED,
+            complexity="O(E) serial edit apply", surfaced_at_nodes=900,
+            fix_days=35, symptom="failover takes minutes",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-8", system="hdfs",
+            title="directory listing materializes all children per RPC",
+            protocol="metadata", root_cause=CAUSE_SERIALIZED,
+            complexity="O(F) per listing", surfaced_at_nodes=400, fix_days=14,
+            symptom="RPC queue backlog",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-9", system="hdfs",
+            title="heartbeat handler contends on one monitor for all datanodes",
+            protocol="read-write", root_cause=CAUSE_SERIALIZED,
+            complexity="O(N) heartbeat handling", surfaced_at_nodes=2000,
+            fix_days=28, symptom="false dead-node declarations",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-10", system="hdfs",
+            title="decommission progress check rescans the block map",
+            protocol="decommission", root_cause=CAUSE_SERIALIZED,
+            complexity="O(B) per check", surfaced_at_nodes=800, fix_days=21,
+            symptom="namenode CPU spikes",
+        ),
+        BugRecord(
+            bug_id="hdfs-recon-11", system="hdfs",
+            title="safemode exit recounts all blocks on every report",
+            protocol="metadata", root_cause=CAUSE_SERIALIZED,
+            complexity="O(B) per report", surfaced_at_nodes=600, fix_days=14,
+            symptom="stuck in safemode",
+        ),
+        # -- Riak (1) -----------------------------------------------------------------------
+        BugRecord(
+            bug_id="riak-recon-1", system="riak",
+            title="ring claim algorithm re-evaluates all partition placements",
+            protocol="rebalance", root_cause=CAUSE_CPU,
+            complexity="O(P^2 N)", surfaced_at_nodes=100, fix_days=30,
+            symptom="ownership handoff storms",
+        ),
+        # -- Voldemort (1) ---------------------------------------------------------------------
+        BugRecord(
+            bug_id="voldemort-recon-1", system="voldemort",
+            title="rebalance plan moves partitions strictly one at a time",
+            protocol="rebalance", root_cause=CAUSE_SERIALIZED,
+            complexity="O(P) serial moves", surfaced_at_nodes=60, fix_days=25,
+            symptom="rebalance takes days",
+        ),
+    ]
+
+
+def default_study() -> BugStudy:
+    """The full 38-bug population matching the paper's aggregates."""
+    return BugStudy(_paper_named() + _reconstructed())
+
+
+#: Paper-quoted per-system counts, used by verification tests and benches.
+PAPER_SYSTEM_COUNTS = {
+    "cassandra": 9,
+    "couchbase": 5,
+    "hadoop": 2,
+    "hbase": 9,
+    "hdfs": 11,
+    "riak": 1,
+    "voldemort": 1,
+}

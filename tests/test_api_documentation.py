@@ -1,0 +1,79 @@
+"""Documentation gate: every public item carries a docstring.
+
+The README promises "doc comments on every public item"; this test makes
+that claim mechanically true rather than aspirational.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name for __, name, ___ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+]
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(member):
+            continue
+        # Only report items defined in this package (not re-exports of
+        # stdlib/third-party objects).
+        defined_in = getattr(member, "__module__", "")
+        if not str(defined_in).startswith("repro"):
+            continue
+        if defined_in != module.__name__:
+            continue  # re-export; checked at its definition site
+        yield name, member
+
+
+def test_all_modules_have_docstrings():
+    missing = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        if not (module.__doc__ or "").strip():
+            missing.append(module_name)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_all_public_classes_and_functions_documented():
+    missing = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name, member in public_members(module):
+            if inspect.isclass(member) or inspect.isfunction(member):
+                if not (inspect.getdoc(member) or "").strip():
+                    missing.append(f"{module_name}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_public_classes_document_their_public_methods():
+    missing = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for class_name, klass in public_members(module):
+            if not inspect.isclass(klass):
+                continue
+            for method_name, method in vars(klass).items():
+                if method_name.startswith("_"):
+                    continue
+                if not (inspect.isfunction(method)
+                        or isinstance(method, property)):
+                    continue
+                target = method.fget if isinstance(method, property) else method
+                if target is None:
+                    continue
+                if not (inspect.getdoc(target) or "").strip():
+                    missing.append(
+                        f"{module_name}.{class_name}.{method_name}")
+    # Dataclass-generated members and trivial accessors excluded by
+    # checking only hand-written defs with no docstring at all.
+    assert not missing, f"undocumented public methods: {missing}"

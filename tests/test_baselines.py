@@ -1,0 +1,171 @@
+"""Tests for the section 4 baseline techniques."""
+
+import pytest
+
+from repro.baselines import (
+    DesignModelParams,
+    ModelVerdict,
+    compare_storage_policies,
+    conviction_staleness_threshold,
+    design_scalability_check,
+    design_staleness,
+    exalt_blind_spot,
+    extrapolate_flaps,
+    fit_and_predict,
+    implementation_aware_check,
+    recommended_tdf,
+    run_diecast,
+    storm_backlog_estimate,
+)
+from repro.bench.calibrate import ci_cost_constants
+from repro.cassandra import ScenarioParams
+from repro.cassandra.metrics import RunReport
+from repro.sim.memory import GB, MB
+
+FAST = ScenarioParams(warmup=10.0, observe=45.0, leaving_duration=8.0)
+
+
+def fake_runner_factory(flaps_by_scale):
+    """A runner stub: flaps as a function of scale (real mode only)."""
+
+    def runner(bug_id, nodes, mode):
+        flaps = flaps_by_scale(nodes) if callable(flaps_by_scale) else (
+            flaps_by_scale.get(nodes, 0))
+        return RunReport(mode=mode, bug=bug_id, nodes=nodes, vnodes=1,
+                         duration=100.0, flaps=flaps, recoveries=0)
+
+    return runner
+
+
+class TestDieCast:
+    def test_recommended_tdf_fits_machine(self):
+        assert recommended_tdf(32, node_cores=2, machine_cores=16) == 4
+        assert recommended_tdf(8, node_cores=2, machine_cores=16) == 1
+        assert recommended_tdf(600, node_cores=2, machine_cores=16) == 75
+
+    def test_diecast_matches_real_at_tdf_cost(self):
+        result = run_diecast("c3831", 16, seed=5, params=FAST,
+                             cost_constants=ci_cost_constants("c3831"))
+        assert result.valid
+        assert result.tdf == 2
+        # Dilated run simulates TDF x the base window.
+        base_window = FAST.warmup + FAST.observe
+        assert result.test_duration == pytest.approx(base_window * result.tdf)
+
+    def test_diecast_accuracy_on_symptomatic_scale(self):
+        """Flap counts under dilation track the real-scale run."""
+        from repro.bench.runner import run_point
+        real = run_point("c3831", 24, "real")
+        result = run_diecast("c3831", 24, seed=42,
+                             cost_constants=ci_cost_constants("c3831"))
+        # Same regime: within 40% or both negligible.
+        if real.flaps > 10:
+            assert result.report.flaps == pytest.approx(real.flaps, rel=0.4)
+        else:
+            assert result.report.flaps <= 10
+
+    def test_oversubscribed_tdf_flagged_invalid(self):
+        result = run_diecast("c3831-fixed", 32, tdf=1, seed=5, params=FAST)
+        assert not result.valid
+
+
+class TestExtrapolation:
+    def test_fit_and_predict_recovers_polynomial(self):
+        predicted = fit_and_predict([1, 2, 3, 4], [1, 4, 9, 16], 10, degree=2)
+        assert predicted == pytest.approx(100.0, rel=0.01)
+
+    def test_prediction_clamped_at_zero(self):
+        assert fit_and_predict([1, 2, 3], [3, 2, 1], 100, degree=1) == 0.0
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            fit_and_predict([], [], 10)
+
+    def test_latent_bug_is_missed(self):
+        """Zero training signal -> zero prediction -> missed bug."""
+        runner = fake_runner_factory(lambda n: 500 if n >= 100 else 0)
+        result = extrapolate_flaps("c3831", 128, runner=runner)
+        assert result.train_flaps == [0, 0, 0, 0]
+        assert result.predicted_flaps == 0.0
+        assert result.actual_flaps == 500
+        assert result.missed
+        assert result.relative_error == pytest.approx(1.0)
+
+    def test_visible_trend_is_extrapolated(self):
+        """When symptoms DO appear in training, extrapolation works --
+        the paper's complaint is specifically about latent bugs."""
+        runner = fake_runner_factory(lambda n: n * n // 4)
+        result = extrapolate_flaps("quadratic", 100, runner=runner,
+                                   train_scales=[8, 16, 24, 32], degree=2)
+        assert not result.missed
+        assert result.relative_error < 0.1
+
+
+class TestDesignModel:
+    def test_design_says_scalable_everywhere(self):
+        verdicts = design_scalability_check([32, 256, 4096])
+        assert all(not v.predicts_flapping for v in verdicts.values())
+
+    def test_staleness_grows_logarithmically(self):
+        params = DesignModelParams()
+        assert design_staleness(256, params) == pytest.approx(8.0)
+        assert design_staleness(1024, params) == pytest.approx(10.0)
+
+    def test_threshold_matches_phi_formula(self):
+        params = DesignModelParams()
+        threshold = conviction_staleness_threshold(params)
+        # phi 8, mean interval 1s: ~18.4s of silence convicts.
+        assert threshold == pytest.approx(18.42, rel=0.01)
+
+    def test_implementation_aware_model_catches_the_bug(self):
+        """Fed in-situ durations, the same model predicts flapping at the
+        scales where the bug manifests -- but those durations are only
+        obtainable by running the implementation (the paper's argument)."""
+        from repro.cassandra.pending_ranges import (
+            CalculatorVariant, calc_cost)
+
+        def delay(n):
+            return calc_cost(CalculatorVariant.V0_C3831, n, n, 1)
+
+        def backlog(n):
+            return storm_backlog_estimate(delay(n), triggers_per_second=3.0,
+                                          window=30.0)
+
+        verdicts = implementation_aware_check([32, 64, 128, 256],
+                                              delay_for_scale=delay,
+                                              backlog_for_scale=backlog)
+        assert not verdicts[32].predicts_flapping
+        assert verdicts[256].predicts_flapping
+
+    def test_backlog_estimate_regimes(self):
+        # Underloaded: bounded backlog.
+        assert storm_backlog_estimate(0.1, 2.0, 100.0) == pytest.approx(0.02)
+        # Overloaded: grows with the window.
+        assert storm_backlog_estimate(1.0, 3.0, 10.0) == pytest.approx(20.0)
+
+
+class TestExalt:
+    def test_storage_policy_comparison(self):
+        outcomes = compare_storage_policies(
+            datanodes=20, blocks_per_datanode=20, block_size=64 * MB,
+            host_disk_bytes=8 * GB, disk_bandwidth=20 * GB, observe=30.0)
+        faithful = outcomes["faithful"]
+        exalt = outcomes["exalt"]
+        # 20 x 20 x 64MB = 25GB logical vs 8GB host disk.
+        assert faithful.storage_failures > 0
+        assert exalt.storage_failures == 0
+        assert exalt.physical_bytes < faithful.physical_bytes
+        assert exalt.logical_bytes == 20 * 20 * 64 * MB
+
+    def test_blind_spot_on_cpu_bound_bug(self):
+        runner = fake_runner_factory({32: 0})
+
+        def runner(bug_id, nodes, mode):
+            flaps = {"real": 100, "colo": 400, "pil": 110}[mode]
+            return RunReport(mode=mode, bug=bug_id, nodes=nodes, vnodes=1,
+                             duration=100.0, flaps=flaps, recoveries=0)
+
+        spot = exalt_blind_spot("c3831", 32, runner=runner)
+        assert spot.exalt_colo_flaps == 400   # nothing to compress: = colo
+        assert spot.exalt_misses
+        assert spot.pil_error < spot.exalt_error

@@ -1,0 +1,77 @@
+"""Tests for the bug registry and its code-path switches."""
+
+import pytest
+
+from repro.cassandra.bugs import (
+    BugConfig,
+    LockMode,
+    Workload,
+    all_bugs,
+    get_bug,
+)
+from repro.cassandra.pending_ranges import CalculatorVariant
+
+
+def test_all_four_paper_bugs_registered_with_fixes():
+    ids = {b.bug_id for b in all_bugs()}
+    for bug in ("c3831", "c3881", "c5456", "c6127"):
+        assert bug in ids
+        assert f"{bug}-fixed" in ids
+
+
+def test_unknown_bug_raises_helpfully():
+    with pytest.raises(KeyError, match="known:"):
+        get_bug("c9999")
+
+
+def test_all_bugs_exclude_fixed_filter():
+    buggy = all_bugs(include_fixed=False)
+    assert all(not b.fixed for b in buggy)
+    assert len(buggy) == 4
+
+
+def test_c3831_runs_cubic_calc_in_gossip_stage():
+    bug = get_bug("c3831")
+    assert bug.variant is CalculatorVariant.V0_C3831
+    assert bug.calc_in_gossip_stage
+    assert bug.vnodes == 1
+    assert bug.workload is Workload.DECOMMISSION
+    assert bug.lock_mode is LockMode.NONE
+
+
+def test_c3831_fix_improves_complexity():
+    assert get_bug("c3831-fixed").variant is CalculatorVariant.V1_C3881
+
+
+def test_c3881_is_the_3831_fix_under_vnodes():
+    bug = get_bug("c3881")
+    assert bug.variant is CalculatorVariant.V1_C3881
+    assert bug.vnodes == 256
+    assert bug.workload is Workload.SCALE_OUT
+
+
+def test_c5456_is_a_lock_bug_not_a_complexity_bug():
+    bug = get_bug("c5456")
+    fixed = get_bug("c5456-fixed")
+    assert bug.variant is fixed.variant  # same calculator...
+    assert bug.lock_mode is LockMode.COARSE
+    assert fixed.lock_mode is LockMode.CLONE  # ...different locking
+    assert not bug.calc_in_gossip_stage
+
+
+def test_c6127_branch_guarded_bootstrap_path():
+    bug = get_bug("c6127")
+    assert bug.workload is Workload.BOOTSTRAP
+    assert bug.calculator_for(fresh_bootstrap=True) is (
+        CalculatorVariant.V3_BOOTSTRAP_C6127)
+    assert bug.calculator_for(fresh_bootstrap=False) is (
+        CalculatorVariant.V2_VNODE_FIX)
+    fixed = get_bug("c6127-fixed")
+    assert fixed.calculator_for(fresh_bootstrap=True) is (
+        CalculatorVariant.V2_VNODE_FIX)
+
+
+def test_bug_configs_are_frozen():
+    bug = get_bug("c3831")
+    with pytest.raises(Exception):
+        bug.vnodes = 512

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_bugs_lists_all_configurations(capsys):
+    code, out = run_cli(capsys, "bugs")
+    assert code == 0
+    for bug in ("c3831", "c3881", "c5456", "c6127"):
+        assert bug in out
+        assert f"{bug}-fixed" in out
+    assert "BUGGY" in out and "fixed" in out
+
+
+def test_study_prints_population(capsys):
+    code, out = run_cli(capsys, "study")
+    assert code == 0
+    assert "38" in out
+    assert "47%" in out
+
+
+def test_finder_runs_on_default_corpus(capsys):
+    code, out = run_cli(capsys, "finder")
+    assert code == 0
+    assert "calculate_pending_ranges_legacy" in out
+    assert "PIL-safe" in out
+
+
+def test_finder_accepts_custom_module(capsys):
+    code, out = run_cli(capsys, "finder", "--module",
+                        "repro.cassandra.legacy_calc")
+    assert code == 0
+    assert "_incremental_update" in out
+
+
+def test_colocation_prints_limits(capsys):
+    code, out = run_cli(capsys, "colocation")
+    assert code == 0
+    assert "max factor" in out
+    assert "600-node probe" in out
+
+
+def test_check_small_pipeline(capsys):
+    code, out = run_cli(capsys, "check", "--bug", "c3831-fixed",
+                        "--nodes", "6", "--seed", "3")
+    assert code == 0
+    assert "err-vs-real" in out
+    assert "memo DB" in out
+    assert "SC+PIL" in out
+
+
+def test_check_saves_db(tmp_path, capsys):
+    path = tmp_path / "memo.json"
+    code, out = run_cli(capsys, "check", "--bug", "c3831-fixed",
+                        "--nodes", "6", "--seed", "3",
+                        "--save-db", str(path))
+    assert code == 0
+    assert path.exists()
+    from repro.core.memoization import MemoDB
+    db = MemoDB.load(path)
+    assert db.meta["bug"] == "c3831-fixed"
+
+
+def test_figure3_with_tiny_scales(capsys):
+    code, out = run_cli(capsys, "figure3", "--bug", "c3831",
+                        "--scales", "4", "6", "--seed", "3")
+    assert code == 0
+    assert "Figure 3 panel: c3831" in out
+    assert "real" in out and "pil" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["warp-speed"])
+
+
+def test_parser_rejects_unknown_figure3_bug():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure3", "--bug", "c9999"])

@@ -1,0 +1,170 @@
+"""Edge-case tests: OOM admission, DieCast mode, workload dispatch, shapes."""
+
+import pytest
+
+from repro.bench.figures import ShapeCheck, check_figure3_shape
+from repro.cassandra import (
+    Cluster,
+    ClusterConfig,
+    MachineSpec,
+    Mode,
+    ScenarioParams,
+    Workload,
+    run_workload,
+)
+from repro.cassandra.cluster import node_name
+from repro.sim.memory import GB, MB
+
+
+FAST = ScenarioParams(warmup=8.0, observe=25.0, leaving_duration=6.0,
+                      join_duration=6.0, join_stagger=1.0)
+
+
+class TestMemoryAdmission:
+    def test_oom_prevents_node_start(self):
+        config = ClusterConfig.for_bug(
+            "c3831-fixed", nodes=8, mode=Mode.COLO, seed=3,
+            machine=MachineSpec(dram_bytes=300 * MB))
+        cluster = Cluster(config)
+        cluster.build_established()
+        # 70MB baseline/node: only ~4 fit in 300MB.
+        assert len(cluster.crashed_for_oom) > 0
+        started = [n for n in cluster.nodes.values() if n.running]
+        assert 0 < len(started) < 8
+        report = cluster.report()
+        assert report.oom_count == len(cluster.crashed_for_oom)
+
+    def test_pil_mode_single_process_profile_fits_more(self):
+        small_machine = MachineSpec(dram_bytes=300 * MB)
+        colo = Cluster(ClusterConfig.for_bug(
+            "c3831-fixed", nodes=8, mode=Mode.COLO, seed=3,
+            machine=small_machine))
+        colo.build_established()
+        pil = Cluster(ClusterConfig.for_bug(
+            "c3831-fixed", nodes=8, mode=Mode.PIL, seed=3,
+            machine=small_machine))
+        pil.build_established()
+        assert len(pil.crashed_for_oom) < len(colo.crashed_for_oom)
+
+
+class TestDieCastMode:
+    def test_diecast_cpus_are_rate_capped(self):
+        config = ClusterConfig.for_bug("c3831-fixed", nodes=4,
+                                       mode=Mode.DIECAST, seed=3)
+        config.time_dilation = 4.0
+        cluster = Cluster(config)
+        cluster.build_established()
+        node = cluster.nodes[node_name(0)]
+        assert node.cpu.speed == pytest.approx(0.25)
+        # Per-node CPUs: no shared machine object.
+        cpus = {id(n.cpu) for n in cluster.nodes.values()}
+        assert len(cpus) == 4
+
+    def test_diecast_tracks_memory_like_colocation(self):
+        config = ClusterConfig.for_bug("c3831-fixed", nodes=4,
+                                       mode=Mode.DIECAST, seed=3)
+        cluster = Cluster(config)
+        cluster.build_established()
+        assert cluster.memory is not None
+
+
+class TestWorkloadDispatch:
+    @pytest.mark.parametrize("workload", [
+        Workload.DECOMMISSION, Workload.SCALE_OUT, Workload.BOOTSTRAP,
+        Workload.FAILOVER, Workload.REBALANCE,
+    ])
+    def test_every_workload_runs(self, workload):
+        bug = "c6127-fixed" if workload is Workload.BOOTSTRAP else "c3831-fixed"
+        cluster = Cluster(ClusterConfig.for_bug(bug, nodes=6, seed=3))
+        report = run_workload(cluster, workload, FAST)
+        assert report.duration > 0
+        assert report.messages_delivered > 0
+
+    def test_scaled_params(self):
+        params = ScenarioParams(warmup=60, observe=240, leaving_duration=30,
+                                join_duration=30)
+        scaled = params.scaled(0.5)
+        assert scaled.warmup == 30
+        assert scaled.observe == 120
+        assert scaled.leaving_duration == 15
+        assert scaled.join_stagger == params.join_stagger  # not time-like
+
+
+class TestShapeCheckLogic:
+    def series(self, real, colo, pil, scales=(8, 16, 24, 32)):
+        return {
+            "real": dict(zip(scales, real)),
+            "colo": dict(zip(scales, colo)),
+            "pil": dict(zip(scales, pil)),
+        }
+
+    def test_paper_shape_passes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        series = self.series(real=[0, 0, 0, 100],
+                             colo=[0, 0, 10, 300],
+                             pil=[0, 0, 0, 95])
+        shape = check_figure3_shape("c3831", series, scales=[8, 16, 24, 32])
+        assert shape.symptom_only_at_scale
+        assert shape.colo_overshoots
+        assert shape.pil_tracks_real
+        assert shape.pil_error == pytest.approx(0.05)
+        assert shape.colo_error == pytest.approx(200 / 300)
+
+    def test_early_symptoms_fail_the_only_at_scale_claim(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        series = self.series(real=[50, 60, 70, 100],
+                             colo=[50, 60, 70, 100],
+                             pil=[50, 60, 70, 100])
+        shape = check_figure3_shape("c3831", series, scales=[8, 16, 24, 32])
+        assert not shape.symptom_only_at_scale
+
+    def test_inaccurate_pil_detected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        series = self.series(real=[0, 0, 0, 100],
+                             colo=[0, 0, 0, 120],
+                             pil=[0, 0, 0, 500])
+        shape = check_figure3_shape("c3831", series, scales=[8, 16, 24, 32])
+        assert not shape.pil_tracks_real
+
+
+class TestRebalanceSpaceObliviousness:
+    """Section 6's anecdote, executed: the rebalance protocol's
+    (N-1) x P x 1.3 MB over-allocation versus the P x 1.3 MB fix."""
+
+    def run(self, oblivious, nodes=12, mode=Mode.COLO):
+        from repro.cassandra.workloads import run_rebalance
+        config = ClusterConfig.for_bug("c3881-fixed", nodes=nodes,
+                                       mode=mode, seed=3)
+        cluster = Cluster(config)
+        report = run_rebalance(cluster, FAST, space_oblivious=oblivious)
+        return cluster, report
+
+    def test_overallocation_crashes_colocated_nodes(self):
+        cluster, report = self.run(oblivious=True)
+        assert report.extra["rebalance_oom_crashes"] > 0
+        crashed = set(cluster.crashed_for_oom)
+        assert all(not cluster.nodes[name].running for name in crashed)
+
+    def test_fixed_allocation_survives(self):
+        cluster, report = self.run(oblivious=False)
+        assert report.extra["rebalance_oom_crashes"] == 0
+        assert report.memory_peak_bytes < 8 * 1024 ** 3
+
+    def test_transient_allocations_are_freed(self):
+        cluster, report = self.run(oblivious=False)
+        # After the rebalance window, services are freed: usage back to
+        # the baseline footprint.
+        usage = cluster.memory.usage_by_owner()
+        assert all("rebalance" not in label for label in [])  # sanity
+        assert cluster.memory.used < report.memory_peak_bytes
+
+    def test_real_mode_has_no_memory_model_and_no_crashes(self):
+        cluster, report = self.run(oblivious=True, mode=Mode.REAL)
+        assert report.extra["rebalance_oom_crashes"] == 0
+
+    def test_workload_dispatch_reaches_rebalance(self):
+        from repro.cassandra.workloads import run_workload
+        config = ClusterConfig.for_bug("c3881-fixed", nodes=6,
+                                       mode=Mode.REAL, seed=3)
+        report = run_workload(Cluster(config), Workload.REBALANCE, FAST)
+        assert "rebalance_oom_crashes" in report.extra

@@ -1,0 +1,119 @@
+"""Tests for the colocation bottleneck analysis (paper sections 6 and 8)."""
+
+import pytest
+
+from repro.cassandra.cluster import MachineSpec
+from repro.cassandra.pending_ranges import CalculatorVariant
+from repro.core.colocation import (
+    CPU_CONTENTION,
+    ColocationAnalyzer,
+    DemandModel,
+    EVENT_LATENESS,
+    MEMORY_EXHAUSTION,
+    NodeFootprint,
+    per_process_footprint,
+    probe_colocation_sim,
+    single_process_footprint,
+)
+from repro.sim.memory import GB, MB
+
+
+def test_probe_small_factor_is_feasible():
+    analyzer = ColocationAnalyzer(pil=True)
+    probe = analyzer.probe(32)
+    assert probe.ok
+    assert probe.cpu_utilization < 0.5
+    assert probe.memory_fraction < 0.5
+
+
+def test_probe_rejects_nonpositive_factor():
+    with pytest.raises(ValueError):
+        ColocationAnalyzer().probe(0)
+
+
+def test_paper_shape_max_factor_around_512(capsys):
+    """Section 8: max colocation factor ~512 on a 16-core/32GB machine;
+    600 nodes hit one of the three bottlenecks."""
+    analyzer = ColocationAnalyzer(pil=True)
+    max_factor = analyzer.max_colocation_factor()
+    assert 384 <= max_factor <= 640
+    probe_600 = analyzer.probe(max(600, max_factor + 50))
+    assert not probe_600.ok
+    assert set(probe_600.bottlenecks) <= {
+        CPU_CONTENTION, MEMORY_EXHAUSTION, EVENT_LATENESS}
+
+
+def test_pil_limit_is_memory_not_cpu():
+    """With PIL the offending compute is gone; what stops colocation is
+    memory (the section 6 observation)."""
+    analyzer = ColocationAnalyzer(pil=True)
+    limit = analyzer.max_colocation_factor()
+    failing = analyzer.probe(limit + 64)
+    assert MEMORY_EXHAUSTION in failing.bottlenecks
+
+
+def test_basic_colocation_limit_is_cpu_bound_and_much_lower():
+    demand = DemandModel(calc_variant=CalculatorVariant.V0_C3831,
+                         calcs_per_second=1.0)
+    colo = ColocationAnalyzer(pil=False, footprint=per_process_footprint(),
+                              demand=demand)
+    pil = ColocationAnalyzer(pil=True)
+    colo_limit = colo.max_colocation_factor()
+    pil_limit = pil.max_colocation_factor()
+    assert colo_limit < pil_limit / 2
+    failing = colo.probe(colo_limit + 8)
+    assert (CPU_CONTENTION in failing.bottlenecks
+            or EVENT_LATENESS in failing.bottlenecks)
+
+
+def test_more_dram_raises_the_memory_bound_limit():
+    small = ColocationAnalyzer(pil=True, machine=MachineSpec(dram_bytes=16 * GB))
+    big = ColocationAnalyzer(pil=True, machine=MachineSpec(dram_bytes=64 * GB))
+    assert big.max_colocation_factor() > small.max_colocation_factor()
+
+
+def test_per_process_footprint_models_jvm_overhead():
+    per_process = per_process_footprint()
+    single = single_process_footprint()
+    assert per_process.runtime_bytes == 70 * MB   # section 6's number
+    assert per_process.bytes_for(100, 256) > single.bytes_for(100, 256)
+
+
+def test_footprint_grows_with_cluster_size_and_vnodes():
+    footprint = NodeFootprint()
+    assert footprint.bytes_for(200, 256) > footprint.bytes_for(100, 256)
+    assert footprint.bytes_for(100, 256) > footprint.bytes_for(100, 1)
+
+
+def test_context_switch_threads_amplify_lateness():
+    threads = ColocationAnalyzer(pil=False, footprint=per_process_footprint(),
+                                 context_switch_coeff=0.01)
+    no_threads = ColocationAnalyzer(pil=False,
+                                    footprint=per_process_footprint(),
+                                    context_switch_coeff=0.0)
+    factor = 120
+    assert (threads.probe(factor).cpu_utilization
+            > no_threads.probe(factor).cpu_utilization)
+
+
+def test_max_factor_zero_when_even_one_node_fails():
+    tiny = ColocationAnalyzer(pil=True,
+                              machine=MachineSpec(dram_bytes=1 * GB),
+                              reserved_dram=1 * GB - 1)
+    assert tiny.max_colocation_factor() == 0
+
+
+def test_sim_probe_validates_analytic_model_at_small_factor():
+    sim_probe = probe_colocation_sim(8, duration=10.0)
+    analytic = ColocationAnalyzer(pil=False).probe(8)
+    assert sim_probe.ok
+    assert analytic.ok
+    # Both agree the machine is nowhere near saturated at factor 8.
+    assert sim_probe.cpu_utilization < 0.3
+    assert analytic.cpu_utilization < 0.3
+
+
+def test_sim_probe_reports_memory_accounting():
+    probe = probe_colocation_sim(8, duration=5.0)
+    assert probe.memory_bytes > 0
+    assert 0 < probe.memory_fraction < 1

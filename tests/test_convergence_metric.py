@@ -1,0 +1,65 @@
+"""Tests for the protocol-completion (convergence) metric.
+
+The paper's memoization-vs-replay comparison is about run durations; the
+DES analogue is the virtual time for a membership operation to settle
+cluster-wide.  These tests pin the metric's semantics: real-scale runs
+converge promptly, wedged colocation runs converge late or are censored.
+"""
+
+import pytest
+
+from repro.bench.calibrate import ci_cost_constants
+from repro.cassandra import (
+    Cluster,
+    ClusterConfig,
+    Mode,
+    ScenarioParams,
+    run_decommission,
+    run_scale_out,
+)
+
+FAST = ScenarioParams(warmup=10.0, observe=60.0, leaving_duration=8.0,
+                      join_duration=8.0, join_stagger=1.0)
+
+
+def test_real_decommission_converges_shortly_after_left():
+    cluster = Cluster(ClusterConfig.for_bug("c3831-fixed", nodes=8,
+                                            mode=Mode.REAL, seed=5))
+    report = run_decommission(cluster, FAST)
+    assert report.extra["converged"] == 1.0
+    # LEAVING lasts 8s; LEFT must propagate within a few gossip rounds.
+    assert FAST.leaving_duration < report.extra["protocol_time"] < 40.0
+
+
+def test_real_scale_out_converges_after_joins():
+    cluster = Cluster(ClusterConfig.for_bug("c3831-fixed", nodes=8,
+                                            mode=Mode.REAL, seed=5))
+    report = run_scale_out(cluster, FAST)
+    assert report.extra["converged"] == 1.0
+    assert report.extra["protocol_time"] > FAST.join_duration
+
+
+def test_unconverged_run_is_censored_at_window():
+    """A buggy run at symptom scale stays wedged: the metric is censored
+    at the observation window instead of reporting a bogus early value."""
+    config = ClusterConfig.for_bug("c3831", nodes=32, mode=Mode.COLO, seed=5,
+                                   cost_constants=ci_cost_constants("c3831"))
+    params = ScenarioParams(warmup=15.0, observe=60.0, leaving_duration=10.0)
+    report = run_decommission(Cluster(config), params)
+    if report.extra["converged"] == 0.0:
+        assert report.extra["protocol_time"] == pytest.approx(params.observe)
+    else:
+        # If it converged at all, it must have been late (wedged stages).
+        assert report.extra["protocol_time"] > params.leaving_duration
+
+
+def test_protocol_time_comparable_across_modes_without_symptoms():
+    """Below the symptom scale all three modes settle at similar times."""
+    times = {}
+    for mode in (Mode.REAL, Mode.COLO):
+        cluster = Cluster(ClusterConfig.for_bug("c3831", nodes=8,
+                                                mode=mode, seed=5))
+        report = run_decommission(cluster, FAST)
+        assert report.extra["converged"] == 1.0
+        times[mode] = report.extra["protocol_time"]
+    assert times[Mode.COLO] == pytest.approx(times[Mode.REAL], rel=0.3)

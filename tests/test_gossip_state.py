@@ -1,0 +1,103 @@
+"""Tests for gossip endpoint-state wire formats and digests."""
+
+import pytest
+
+from repro.cassandra.state import (
+    EndpointState,
+    GossipDigest,
+    HeartBeatState,
+    STATUS,
+    STATUS_NORMAL,
+    TOKENS,
+    VersionGenerator,
+    VersionedValue,
+    blob_entry_count,
+    make_digests,
+)
+
+
+def make_state(generation=1, beats=0):
+    versions = VersionGenerator()
+    state = EndpointState(heartbeat=HeartBeatState(generation=generation))
+    for __ in range(beats):
+        state.heartbeat.beat(versions)
+    return state, versions
+
+
+def test_version_generator_monotonic():
+    versions = VersionGenerator()
+    values = [versions.next() for __ in range(10)]
+    assert values == sorted(values)
+    assert len(set(values)) == 10
+
+
+def test_beat_advances_version():
+    state, versions = make_state()
+    assert state.heartbeat.version == 0
+    state.heartbeat.beat(versions)
+    first = state.heartbeat.version
+    state.heartbeat.beat(versions)
+    assert state.heartbeat.version > first
+
+
+def test_max_version_covers_heartbeat_and_app_states():
+    state, versions = make_state(beats=1)
+    hb_version = state.heartbeat.version
+    state.app_states[STATUS] = VersionedValue(STATUS_NORMAL, hb_version + 5)
+    assert state.max_version() == hb_version + 5
+
+
+def test_status_and_tokens_accessors():
+    state, versions = make_state()
+    assert state.status() is None
+    assert state.tokens() is None
+    state.app_states[STATUS] = VersionedValue(STATUS_NORMAL, 1)
+    state.app_states[TOKENS] = VersionedValue("", 2, payload=(10, 20))
+    assert state.status() == STATUS_NORMAL
+    assert state.tokens() == (10, 20)
+
+
+def test_blob_roundtrip():
+    state, versions = make_state(generation=3, beats=2)
+    state.app_states[STATUS] = VersionedValue(STATUS_NORMAL, 7)
+    state.app_states[TOKENS] = VersionedValue("", 8, payload=(1, 2, 3))
+    blob = state.to_blob()
+    restored = EndpointState.from_blob(blob, now=42.0)
+    assert restored.heartbeat.generation == 3
+    assert restored.heartbeat.version == state.heartbeat.version
+    assert restored.status() == STATUS_NORMAL
+    assert restored.tokens() == (1, 2, 3)
+    assert restored.update_timestamp == 42.0
+
+
+def test_delta_blob_filters_by_version():
+    state, versions = make_state(beats=1)
+    state.app_states["A"] = VersionedValue("old", 2)
+    state.app_states["B"] = VersionedValue("new", 9)
+    full = state.delta_blob(0)
+    delta = state.delta_blob(5)
+    assert len(full[2]) == 2
+    assert len(delta[2]) == 1
+    assert delta[2][0][0] == "B"
+    # Heartbeat always rides along.
+    assert delta[1] == state.heartbeat.version
+
+
+def test_blob_entry_count():
+    state, versions = make_state(beats=1)
+    state.app_states[STATUS] = VersionedValue(STATUS_NORMAL, 5)
+    assert blob_entry_count(state.to_blob()) == 2  # heartbeat + STATUS
+
+
+def test_make_digests_sorted_and_complete():
+    a, __ = make_state(generation=1, beats=3)
+    b, __ = make_state(generation=2, beats=1)
+    digests = make_digests({"zeta": a, "alpha": b})
+    assert [d.endpoint for d in digests] == ["alpha", "zeta"]
+    assert digests[1] == GossipDigest("zeta", 1, a.max_version())
+
+
+def test_versioned_value_is_immutable():
+    value = VersionedValue("x", 1)
+    with pytest.raises(Exception):
+        value.value = "y"

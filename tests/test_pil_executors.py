@@ -1,0 +1,122 @@
+"""Tests for the simulator-integrated PIL executors (memoize + replay)."""
+
+import pytest
+
+from repro.cassandra import (
+    Cluster,
+    ClusterConfig,
+    Mode,
+    ScenarioParams,
+    run_decommission,
+)
+from repro.core.memoization import MemoDB
+from repro.core.pil import (
+    CALC_FUNC_ID,
+    MemoizingExecutor,
+    MissPolicy,
+    PilReplayExecutor,
+    ReplayMissError,
+)
+
+FAST = ScenarioParams(warmup=10.0, observe=40.0, leaving_duration=8.0)
+
+
+def memoized_run(bug_id="c3831", nodes=8, seed=5, noise=0.0):
+    db = MemoDB()
+    config = ClusterConfig.for_bug(bug_id, nodes=nodes, mode=Mode.COLO,
+                                   seed=seed)
+    cluster = Cluster(config)
+    cluster.executor = MemoizingExecutor(db, noise_sigma=noise)
+    report = run_decommission(cluster, FAST)
+    db.record_message_order(cluster.network.delivery_log)
+    return db, report, cluster
+
+
+def replay_run(db, bug_id="c3831", nodes=8, seed=5,
+               miss_policy=MissPolicy.MODEL):
+    config = ClusterConfig.for_bug(bug_id, nodes=nodes, mode=Mode.PIL,
+                                   seed=seed)
+    cluster = Cluster(config)
+    executor = PilReplayExecutor(db, cluster.sim, miss_policy=miss_policy)
+    cluster.executor = executor
+    report = run_decommission(cluster, FAST)
+    return report, executor
+
+
+def test_memoizing_executor_records_every_distinct_input():
+    db, report, __ = memoized_run()
+    assert len(report.calc_records) > 0
+    assert len(db) >= 1
+    assert db.func_ids() == [CALC_FUNC_ID]
+    # Sample count equals total invocations across nodes.
+    assert db.total_samples() == len(report.calc_records)
+
+
+def test_memoized_duration_without_noise_equals_demand():
+    db, report, __ = memoized_run(noise=0.0)
+    demands = {round(r.demand, 12) for r in report.calc_records}
+    for record in db.records():
+        assert round(record.duration, 12) in demands
+
+
+def test_memoized_duration_noise_is_bounded_and_deterministic():
+    db1, __, ___ = memoized_run(noise=0.05)
+    db2, __, ___ = memoized_run(noise=0.05)
+    for r1, r2 in zip(db1.records(), db2.records()):
+        assert r1.duration == r2.duration   # same seed -> same noise
+    db0, __, ___ = memoized_run(noise=0.0)
+    for noisy, clean in zip(db1.records(), db0.records()):
+        assert noisy.duration == pytest.approx(clean.duration, rel=0.3)
+
+
+def test_replay_hits_and_substitutes_outputs():
+    db, memo_report, __ = memoized_run()
+    replay_report, executor = replay_run(db)
+    stats = executor.stats()
+    assert stats["hits"] > 0
+    assert stats["hit_rate"] > 0.9
+    assert stats["slept_seconds"] > 0
+    # Replayed clusters still converge: victim removed everywhere.
+    assert replay_report.bug == "c3831"
+
+
+def test_replay_miss_model_policy_uses_cost_model():
+    db = MemoDB()  # empty: every lookup misses
+    report, executor = replay_run(db, miss_policy=MissPolicy.MODEL)
+    stats = executor.stats()
+    assert stats["hits"] == 0
+    assert stats["misses"] > 0
+    assert len(report.calc_records) == stats["misses"]
+
+
+def test_replay_miss_live_policy_computes_on_node_cpu():
+    db = MemoDB()
+    report, executor = replay_run(db, miss_policy=MissPolicy.LIVE)
+    assert executor.stats()["misses"] > 0
+    assert executor.pil_cpu.completed_jobs == 0   # nothing slept
+
+
+def test_replay_miss_strict_policy_raises():
+    db = MemoDB()
+    with pytest.raises(ReplayMissError):
+        replay_run(db, miss_policy=MissPolicy.STRICT)
+
+
+def test_replay_flaps_match_real_scale_at_small_n():
+    """At a scale with no symptoms, all three modes agree on zero flaps."""
+    db, memo_report, __ = memoized_run()
+    replay_report, __e = replay_run(db)
+    config = ClusterConfig.for_bug("c3831", nodes=8, mode=Mode.REAL, seed=5)
+    real_report = run_decommission(Cluster(config), FAST)
+    assert real_report.flaps == 0
+    assert replay_report.flaps == 0
+    assert memo_report.flaps == 0
+
+
+def test_replay_is_deterministic():
+    db, __, ___ = memoized_run()
+    r1, __e1 = replay_run(db)
+    r2, __e2 = replay_run(db)
+    assert r1.flaps == r2.flaps
+    assert r1.messages_sent == r2.messages_sent
+    assert len(r1.calc_records) == len(r2.calc_records)

@@ -1,0 +1,198 @@
+"""Tests for wall-clock PIL wrapping and auto-instrumentation."""
+
+import pytest
+
+import repro.cassandra.legacy_calc as legacy_calc
+from repro.cassandra.pending_ranges import compute_pending_ranges
+from repro.cassandra.ring import TokenMetadata
+from repro.cassandra.tokens import tokens_for_node
+from repro.core.instrument import InstrumentationError, Instrumenter
+from repro.core.memoization import MemoDB
+from repro.core.pilfunc import PilFunction, default_input_key, pil_wrap
+
+
+class FakeTime:
+    """Deterministic clock + sleep recorder for PIL tests."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def expensive(x, cost=0.5, _time=None):
+    if _time is not None:
+        _time.advance(cost)
+    return x * 2
+
+
+def make_pil(db=None, fake=None):
+    fake = fake or FakeTime()
+    db = db if db is not None else MemoDB()
+
+    def func(x, cost=0.5):
+        fake.advance(cost)
+        return x * 2
+
+    shim = PilFunction(func, db, func_id="test.expensive",
+                       clock=fake.clock, sleeper=fake.sleep)
+    return shim, db, fake
+
+
+def test_record_mode_stores_output_and_duration():
+    shim, db, fake = make_pil()
+    assert shim(21) == 42
+    record = db.get("test.expensive", default_input_key((21,), {}))
+    assert record is not None
+    assert record.duration == pytest.approx(0.5)
+    assert shim.live_calls == 1
+
+
+def test_replay_hit_sleeps_and_skips_function():
+    shim, db, fake = make_pil()
+    shim(21)
+    shim.replay()
+    before = fake.now
+    result = shim(21)
+    assert result == 42
+    assert fake.sleeps == [pytest.approx(0.5)]
+    assert shim.replayed_calls == 1
+    # Function body did not run again: time advanced only by the sleep.
+    assert fake.now - before == pytest.approx(0.5)
+
+
+def test_replay_miss_falls_back_to_live_and_records():
+    shim, db, fake = make_pil()
+    shim.replay()
+    assert shim(5) == 10           # miss -> live call
+    assert shim.live_calls == 1
+    assert shim(5) == 10           # now a hit
+    assert shim.replayed_calls == 1
+
+
+def test_off_mode_is_transparent():
+    shim, db, fake = make_pil()
+    shim.off()
+    assert shim(3) == 6
+    assert len(db) == 0
+
+
+def test_time_scale_dilates_replay_sleeps():
+    fake = FakeTime()
+    db = MemoDB()
+
+    def func(x):
+        fake.advance(2.0)
+        return x
+
+    shim = PilFunction(func, db, clock=fake.clock, sleeper=fake.sleep,
+                       time_scale=0.01)
+    shim(1)
+    shim.replay()
+    shim(1)
+    assert fake.sleeps == [pytest.approx(0.02)]
+
+
+def test_pil_wrap_decorator():
+    db = MemoDB()
+    fake = FakeTime()
+
+    @pil_wrap(db, clock=fake.clock, sleeper=fake.sleep)
+    def double(x):
+        return x + x
+
+    assert isinstance(double, PilFunction)
+    assert double(4) == 8
+    assert len(db) == 1
+
+
+class TestInputKeys:
+    def test_scalars_keyed_by_value(self):
+        assert default_input_key((1, "a"), {}) == default_input_key((1, "a"), {})
+        assert default_input_key((1,), {}) != default_input_key((2,), {})
+
+    def test_kwargs_order_independent(self):
+        assert (default_input_key((), {"a": 1, "b": 2})
+                == default_input_key((), {"b": 2, "a": 1}))
+
+    def test_memo_key_protocol_used(self):
+        metadata = TokenMetadata()
+        metadata.update_normal_tokens("a", [1, 2])
+        other = TokenMetadata()
+        other.update_normal_tokens("a", [1, 2])
+        assert (default_input_key((metadata,), {})
+                == default_input_key((other,), {}))
+        other.add_leaving_endpoint("a")
+        assert (default_input_key((metadata,), {})
+                != default_input_key((other,), {}))
+
+    def test_unpicklable_argument_raises(self):
+        with pytest.raises(TypeError):
+            default_input_key((lambda: None,), {})
+
+
+class TestInstrumenter:
+    def make_metadata(self):
+        metadata = TokenMetadata()
+        for name in ("a", "b", "c", "d"):
+            metadata.update_normal_tokens(name, tokens_for_node(name, 4))
+        metadata.add_leaving_endpoint("d")
+        return metadata
+
+    def test_default_targets_are_finder_picks(self):
+        with Instrumenter(legacy_calc, MemoDB()) as inst:
+            targets = inst.default_targets()
+            assert "calculate_pending_ranges_legacy" in targets
+            assert "_incremental_update" in targets
+
+    def test_record_then_replay_preserves_output(self):
+        db = MemoDB()
+        metadata = self.make_metadata()
+        expected = compute_pending_ranges(metadata, 2)
+        with Instrumenter(legacy_calc, db, time_scale=0.0) as inst:
+            inst.instrument(["calculate_pending_ranges_legacy"])
+            recorded = legacy_calc.calculate_pending_ranges_legacy(metadata, 2)
+            assert recorded == expected
+            assert inst.live_calls() == 1
+            inst.set_mode("replay")
+            replayed = legacy_calc.calculate_pending_ranges_legacy(metadata, 2)
+            assert replayed == expected
+            assert inst.replayed_calls() == 1
+        # Restored after the context exits.
+        assert not isinstance(legacy_calc.calculate_pending_ranges_legacy,
+                              PilFunction)
+
+    def test_internal_callers_are_redirected(self):
+        """Wrapping a helper redirects calls from within the module."""
+        db = MemoDB()
+        metadata = self.make_metadata()
+        with Instrumenter(legacy_calc, db, time_scale=0.0) as inst:
+            inst.instrument(["_incremental_update"])
+            legacy_calc.calculate_pending_ranges_legacy(metadata, 2)
+            assert inst.live_calls() == 1   # entry called the shim
+
+    def test_unknown_target_raises(self):
+        with Instrumenter(legacy_calc, MemoDB()) as inst:
+            with pytest.raises(InstrumentationError):
+                inst.instrument(["not_a_function"])
+
+    def test_bad_mode_rejected(self):
+        with Instrumenter(legacy_calc, MemoDB()) as inst:
+            inst.instrument(["_incremental_update"])
+            with pytest.raises(ValueError):
+                inst.set_mode("turbo")
+
+    def test_double_instrument_is_idempotent(self):
+        with Instrumenter(legacy_calc, MemoDB()) as inst:
+            inst.instrument(["_incremental_update"])
+            inst.instrument(["_incremental_update"])
+            assert len(inst.wrapped) == 1

@@ -1,0 +1,103 @@
+"""Tests for the replay harness and the ScaleCheck pipeline orchestrator."""
+
+import pytest
+
+from repro.cassandra import ClusterConfig, Mode, ScenarioParams
+from repro.cassandra.metrics import accuracy_error
+from repro.core.memoization import MemoDB
+from repro.core.pil import MissPolicy
+from repro.core.replayer import ReplayHarness
+from repro.core.scalecheck import ScaleCheck
+
+FAST = ScenarioParams(warmup=10.0, observe=40.0, leaving_duration=8.0,
+                      join_duration=8.0, join_stagger=1.0)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    check = ScaleCheck(bug_id="c3831", nodes=8, seed=5, params=FAST)
+    result = check.check()
+    return check, result
+
+
+def test_memoize_produces_db_with_meta(pipeline):
+    __, result = pipeline
+    assert result.db.meta["bug"] == "c3831"
+    assert result.db.meta["nodes"] == 8
+    assert len(result.db) >= 1
+    assert len(result.db.message_order) > 0
+
+
+def test_replay_has_high_hit_rate(pipeline):
+    __, result = pipeline
+    assert result.replay.hit_rate > 0.9
+    assert result.replay.misses <= result.replay.hits
+
+
+def test_reports_carry_modes(pipeline):
+    __, result = pipeline
+    assert result.memo_report.mode == "colo"
+    assert result.replay_report.mode == "pil"
+
+
+def test_compare_modes_returns_all_three(pipeline):
+    check, __ = pipeline
+    reports = check.compare_modes()
+    assert set(reports) == {"real", "colo", "pil"}
+    accuracy = ScaleCheck.accuracy(reports)
+    assert 0.0 <= accuracy["pil_error"] <= 1.0
+    assert 0.0 <= accuracy["colo_error"] <= 1.0
+
+
+def test_find_offenders_runs_the_program_analysis(pipeline):
+    check, __ = pipeline
+    report = check.find_offenders()
+    assert report.offenders()
+    assert report.pil_candidates()
+
+
+def test_replay_harness_requires_pil_config():
+    config = ClusterConfig.for_bug("c3831", nodes=4, mode=Mode.REAL)
+    with pytest.raises(ValueError):
+        ReplayHarness(MemoDB(), config)
+
+
+def test_replay_with_order_enforcement_completes(pipeline):
+    check, result = pipeline
+    replay = check.replay(result.db, enforce_order=True)
+    assert replay.order_enforced
+    # Some messages were released in the recorded order, and the run
+    # completed (watchdog unblocked any divergence).
+    assert replay.order_released > 0
+    assert replay.report.duration == pytest.approx(FAST.warmup + FAST.observe)
+
+
+def test_order_enforcement_ablation_changes_release_counts(pipeline):
+    check, result = pipeline
+    loose = check.replay(result.db, enforce_order=False)
+    strict = check.replay(result.db, enforce_order=True)
+    assert loose.order_released == 0
+    assert strict.order_released > 0
+
+
+def test_scale_check_result_speedup_defined(pipeline):
+    __, result = pipeline
+    assert result.speedup() > 0
+
+
+def test_replay_strict_policy_via_scalecheck(pipeline):
+    check, result = pipeline
+    replay = check.replay(result.db, miss_policy=MissPolicy.STRICT)
+    # All inputs were memoized, so strict replay succeeds with zero misses.
+    assert replay.misses == 0
+
+
+def test_accuracy_error_helper():
+    class R:
+        def __init__(self, flaps):
+            self.flaps = flaps
+
+    assert accuracy_error(R(100), R(100)) == 0.0
+    assert accuracy_error(R(100), R(50)) == pytest.approx(0.5)
+    assert accuracy_error(R(0), R(0)) == 0.0
+    assert accuracy_error(R(0), R(10)) == pytest.approx(1.0)

@@ -1,0 +1,111 @@
+"""Tests for experiment-result persistence."""
+
+import pytest
+
+from repro.bench.results import (
+    ResultStore,
+    SCHEMA_VERSION,
+    experiment_key,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.cassandra.metrics import CalcRecord, RunReport
+from repro.cassandra.pending_ranges import CostConstants
+from repro.cassandra.workloads import ScenarioParams
+
+
+def sample_report(flaps=7):
+    return RunReport(
+        mode="real", bug="c3831", nodes=32, vnodes=1, duration=110.0,
+        flaps=flaps, recoveries=flaps,
+        calc_records=[CalcRecord(1.0, "n0", "v0-c3831", "k", 0.5, 0.5, 1),
+                      CalcRecord(2.0, "n0", "v0-c3831", "k", 1.5, 1.5, 1)],
+        cpu_utilization=0.3, extra={"protocol_time": 40.0},
+    )
+
+
+class TestExperimentKey:
+    def test_identity_is_stable(self):
+        params, constants = ScenarioParams(), CostConstants()
+        k1 = experiment_key("c3831", 32, "real", 42, params, constants)
+        k2 = experiment_key("c3831", 32, "real", 42, params, constants)
+        assert k1 == k2
+
+    def test_any_dimension_changes_the_key(self):
+        params, constants = ScenarioParams(), CostConstants()
+        base = experiment_key("c3831", 32, "real", 42, params, constants)
+        assert experiment_key("c3881", 32, "real", 42, params,
+                              constants) != base
+        assert experiment_key("c3831", 64, "real", 42, params,
+                              constants) != base
+        assert experiment_key("c3831", 32, "pil", 42, params,
+                              constants) != base
+        assert experiment_key("c3831", 32, "real", 7, params,
+                              constants) != base
+        assert experiment_key("c3831", 32, "real", 42,
+                              ScenarioParams(warmup=99), constants) != base
+        assert experiment_key("c3831", 32, "real", 42, params,
+                              CostConstants(k0_c3831=1.0)) != base
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_headline_fields(self):
+        report = sample_report()
+        restored = report_from_dict(report_to_dict(report))
+        assert restored.flaps == report.flaps
+        assert restored.mode == report.mode
+        assert restored.duration == report.duration
+        assert restored.extra == report.extra
+
+    def test_detail_lists_are_summarized(self):
+        data = report_to_dict(sample_report())
+        assert data["flap_events"] == 0   # sample has no event objects
+        assert data["calc_records"]["count"] == 2
+        assert data["calc_records"]["demand_max"] == 1.5
+        restored = report_from_dict(data)
+        assert restored.calc_records == []
+
+
+class TestResultStore:
+    def test_put_get_roundtrip_via_disk(self, tmp_path):
+        path = tmp_path / "results.json"
+        store = ResultStore(path)
+        key = "k1"
+        store.put(key, sample_report(flaps=11), note="test")
+        store.save()
+        reloaded = ResultStore(path)
+        report = reloaded.get(key)
+        assert report is not None
+        assert report.flaps == 11
+        assert reloaded.hits == 1
+
+    def test_get_or_run_executes_once(self, tmp_path):
+        store = ResultStore(tmp_path / "results.json")
+        calls = []
+
+        def runner():
+            calls.append(1)
+            return sample_report(flaps=3)
+
+        first = store.get_or_run("k", runner)
+        second = store.get_or_run("k", runner)
+        assert first.flaps == second.flaps == 3
+        assert len(calls) == 1
+
+    def test_autosave_persists_across_instances(self, tmp_path):
+        path = tmp_path / "results.json"
+        ResultStore(path).get_or_run("k", lambda: sample_report())
+        assert ResultStore(path).get("k") is not None
+
+    def test_schema_mismatch_discards_old_entries(self, tmp_path):
+        import json
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(
+            {"schema": SCHEMA_VERSION - 1, "entries": {"k": {}}}))
+        store = ResultStore(path)
+        assert len(store) == 0
+
+    def test_miss_counted(self, tmp_path):
+        store = ResultStore(tmp_path / "results.json")
+        assert store.get("ghost") is None
+        assert store.misses == 1

@@ -1,0 +1,170 @@
+"""Tests for TokenMetadata: mutations, content hash, cloning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cassandra.ring import TokenMetadata
+from repro.cassandra.tokens import TOKEN_SPACE
+
+
+def build_metadata(normal=None, boot=None, leaving=None):
+    metadata = TokenMetadata()
+    for endpoint, tokens in (normal or {}).items():
+        metadata.update_normal_tokens(endpoint, tokens)
+    for endpoint, tokens in (boot or {}).items():
+        metadata.add_bootstrap_tokens(endpoint, tokens)
+    for endpoint in leaving or []:
+        metadata.add_leaving_endpoint(endpoint)
+    return metadata
+
+
+def test_update_normal_tokens_and_queries():
+    metadata = build_metadata(normal={"a": [10, 20], "b": [30]})
+    assert metadata.normal_endpoints() == ["a", "b"]
+    assert metadata.endpoint_tokens("a") == [10, 20]
+    assert metadata.token_count() == 3
+    assert not metadata.has_pending_changes()
+
+
+def test_token_ownership_transfer():
+    metadata = build_metadata(normal={"a": [10]})
+    metadata.update_normal_tokens("b", [10])
+    assert metadata.token_to_endpoint[10] == "b"
+    assert metadata.endpoint_tokens("a") == []
+
+
+def test_bootstrap_then_normal_clears_bootstrap_state():
+    metadata = build_metadata(normal={"a": [10]})
+    metadata.add_bootstrap_tokens("b", [20])
+    assert metadata.has_pending_changes()
+    assert metadata.bootstrapping_endpoints() == ["b"]
+    metadata.update_normal_tokens("b", [20])
+    assert not metadata.has_pending_changes()
+    assert metadata.token_to_endpoint[20] == "b"
+
+
+def test_leaving_then_removed():
+    metadata = build_metadata(normal={"a": [10], "b": [20]})
+    metadata.add_leaving_endpoint("b")
+    assert metadata.has_pending_changes()
+    metadata.remove_endpoint("b")
+    assert not metadata.has_pending_changes()
+    assert metadata.normal_endpoints() == ["a"]
+
+
+def test_future_ring_excludes_leaving_includes_boot():
+    metadata = build_metadata(
+        normal={"a": [10], "b": [20]},
+        boot={"c": [30]},
+        leaving=["b"],
+    )
+    future = metadata.future_ring()
+    assert sorted(set(future.endpoints)) == ["a", "c"]
+
+
+def test_clone_only_token_map_is_independent():
+    metadata = build_metadata(normal={"a": [10]}, boot={"b": [20]},
+                              leaving=["a"])
+    clone = metadata.clone_only_token_map()
+    assert clone.content_hash == metadata.content_hash
+    clone.update_normal_tokens("c", [30])
+    assert metadata.token_count() == 1
+    assert clone.content_hash != metadata.content_hash
+    # Pending ranges are derived state: not cloned.
+    assert clone.pending_ranges == {}
+
+
+def test_content_hash_tracks_membership_not_pending_ranges():
+    metadata = build_metadata(normal={"a": [10]})
+    before = metadata.content_hash
+    metadata.set_pending_ranges({"a": []})
+    assert metadata.content_hash == before
+
+
+def test_content_hash_identical_for_identical_content():
+    m1 = build_metadata(normal={"a": [10], "b": [20]}, leaving=["a"])
+    m2 = TokenMetadata()
+    # Build in a different order; hash is order-independent.
+    m2.add_leaving_endpoint("a")
+    m2.update_normal_tokens("b", [20])
+    m2.update_normal_tokens("a", [10])
+    # update_normal_tokens clears leaving state, so re-add.
+    m2.add_leaving_endpoint("a")
+    assert m1.content_hash == m2.content_hash
+
+
+def test_idempotent_mutations_keep_hash_consistent():
+    metadata = build_metadata(normal={"a": [10]})
+    h = metadata.content_hash
+    metadata.update_normal_tokens("a", [10])   # no-op
+    metadata.add_leaving_endpoint("b")
+    metadata.add_leaving_endpoint("b")         # no-op
+    metadata.remove_leaving_endpoint("b")
+    assert metadata.content_hash == h
+
+
+def test_memo_key_reflects_content():
+    m1 = build_metadata(normal={"a": [10]})
+    m2 = build_metadata(normal={"a": [10]})
+    assert m1.__memo_key__() == m2.__memo_key__()
+    m2.add_leaving_endpoint("a")
+    assert m1.__memo_key__() != m2.__memo_key__()
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("normal"),
+                  st.sampled_from(["a", "b", "c", "d"]),
+                  st.lists(st.integers(0, TOKEN_SPACE - 1), min_size=1,
+                           max_size=4)),
+        st.tuples(st.just("boot"),
+                  st.sampled_from(["a", "b", "c", "d"]),
+                  st.lists(st.integers(0, TOKEN_SPACE - 1), min_size=1,
+                           max_size=4)),
+        st.tuples(st.just("leave"), st.sampled_from(["a", "b", "c", "d"]),
+                  st.just([])),
+        st.tuples(st.just("remove"), st.sampled_from(["a", "b", "c", "d"]),
+                  st.just([])),
+    ),
+    min_size=0, max_size=30,
+)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=80)
+def test_property_incremental_hash_equals_recomputed(ops):
+    """The load-bearing invariant: the incrementally maintained content
+    hash always equals a from-scratch recomputation, whatever the mutation
+    sequence."""
+    metadata = TokenMetadata()
+    for op, endpoint, tokens in ops:
+        if op == "normal":
+            metadata.update_normal_tokens(endpoint, tokens)
+        elif op == "boot":
+            metadata.add_bootstrap_tokens(endpoint, tokens)
+        elif op == "leave":
+            metadata.add_leaving_endpoint(endpoint)
+        elif op == "remove":
+            metadata.remove_endpoint(endpoint)
+        assert metadata.content_hash == metadata.recomputed_content_hash()
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=40)
+def test_property_clone_equals_original(ops):
+    metadata = TokenMetadata()
+    for op, endpoint, tokens in ops:
+        if op == "normal":
+            metadata.update_normal_tokens(endpoint, tokens)
+        elif op == "boot":
+            metadata.add_bootstrap_tokens(endpoint, tokens)
+        elif op == "leave":
+            metadata.add_leaving_endpoint(endpoint)
+        elif op == "remove":
+            metadata.remove_endpoint(endpoint)
+    clone = metadata.clone_only_token_map()
+    assert clone.token_to_endpoint == metadata.token_to_endpoint
+    assert clone.bootstrap_tokens == metadata.bootstrap_tokens
+    assert clone.leaving_endpoints == metadata.leaving_endpoints
+    assert clone.content_hash == metadata.content_hash

@@ -1,0 +1,213 @@
+"""Tests for the CPU models: the real/colo/PIL distinction in miniature."""
+
+import pytest
+
+from repro.sim import (
+    Compute,
+    DedicatedCpu,
+    PilCpu,
+    ProcessorSharingCpu,
+    SharedCpu,
+    Simulator,
+    Timeout,
+)
+
+
+def run_jobs(cpu_factory, jobs, seed=1):
+    """Run (start_delay, demand) jobs; return [(finish_time, elapsed)]."""
+    sim = Simulator(seed=seed)
+    cpu = cpu_factory(sim)
+    finished = []
+
+    def worker(delay, demand, idx):
+        if delay:
+            yield Timeout(delay)
+        elapsed = yield Compute(cpu, demand, tag=f"job{idx}")
+        finished.append((idx, sim.now, elapsed))
+
+    for idx, (delay, demand) in enumerate(jobs):
+        sim.spawn(worker(delay, demand, idx))
+    sim.run()
+    finished.sort()
+    return cpu, finished
+
+
+def test_single_job_takes_its_demand():
+    __, done = run_jobs(lambda sim: ProcessorSharingCpu(sim, cores=1),
+                        [(0.0, 2.0)])
+    assert done[0][1] == pytest.approx(2.0)
+    assert done[0][2] == pytest.approx(2.0)
+
+
+def test_three_jobs_one_core_processor_sharing():
+    # Equal jobs share the core equally: all finish at 3 x demand.
+    __, done = run_jobs(lambda sim: ProcessorSharingCpu(sim, cores=1),
+                        [(0.0, 1.0)] * 3)
+    for __, finish, elapsed in done:
+        assert finish == pytest.approx(3.0)
+        assert elapsed == pytest.approx(3.0)
+
+
+def test_jobs_within_core_count_run_unstretched():
+    __, done = run_jobs(lambda sim: ProcessorSharingCpu(sim, cores=4),
+                        [(0.0, 1.0)] * 4)
+    for __, finish, elapsed in done:
+        assert finish == pytest.approx(1.0)
+
+
+def test_staggered_arrival_processor_sharing_analytic():
+    # Job A (demand 2) alone for 1s (1 unit done), then shares with B
+    # (demand 0.5): both at rate 1/2.  B finishes at t=2 (0.5 demand at
+    # rate .5).  A has 0.5 left, finishes at t=2.5.
+    __, done = run_jobs(lambda sim: ProcessorSharingCpu(sim, cores=1),
+                        [(0.0, 2.0), (1.0, 0.5)])
+    job_a, job_b = done[0], done[1]
+    assert job_b[1] == pytest.approx(2.0)
+    assert job_a[1] == pytest.approx(2.5)
+
+
+def test_zero_cost_compute_completes_immediately():
+    __, done = run_jobs(lambda sim: ProcessorSharingCpu(sim, cores=1),
+                        [(0.0, 0.0)])
+    assert done[0][1] == pytest.approx(0.0)
+
+
+def test_negative_cost_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(ValueError):
+        Compute(ProcessorSharingCpu(sim, cores=1), -1.0)
+
+
+def test_context_switch_overhead_slows_everything():
+    plain, done_plain = run_jobs(
+        lambda sim: ProcessorSharingCpu(sim, cores=1, context_switch_coeff=0.0),
+        [(0.0, 1.0)] * 4)
+    penalized, done_penalized = run_jobs(
+        lambda sim: ProcessorSharingCpu(sim, cores=1, context_switch_coeff=0.5),
+        [(0.0, 1.0)] * 4)
+    assert done_penalized[0][1] > done_plain[0][1]
+
+
+def test_mean_stretch_reflects_contention():
+    cpu, __ = run_jobs(lambda sim: ProcessorSharingCpu(sim, cores=1),
+                       [(0.0, 1.0)] * 5)
+    assert cpu.mean_stretch() == pytest.approx(5.0)
+    cpu2, __ = run_jobs(lambda sim: ProcessorSharingCpu(sim, cores=8),
+                        [(0.0, 1.0)] * 5)
+    assert cpu2.mean_stretch() == pytest.approx(1.0)
+
+
+def test_utilization_accounting():
+    sim = Simulator(seed=1)
+    cpu = ProcessorSharingCpu(sim, cores=2)
+    done = []
+
+    def worker():
+        elapsed = yield Compute(cpu, 1.0)
+        done.append(elapsed)
+
+    sim.spawn(worker())
+    sim.run(until=2.0)
+    # 1 busy core-second over 2 elapsed seconds on 2 cores = 25%.
+    assert cpu.utilization() == pytest.approx(0.25)
+    assert cpu.peak_utilization == pytest.approx(0.5)
+    assert cpu.peak_jobs == 1
+
+
+def test_dedicated_cpu_is_uncontended_across_instances():
+    sim = Simulator(seed=1)
+    finish = []
+
+    def worker(cpu, idx):
+        yield Compute(cpu, 1.0)
+        finish.append((idx, sim.now))
+
+    for i in range(10):
+        sim.spawn(worker(DedicatedCpu(sim, cores=1, name=f"n{i}"), i))
+    sim.run()
+    assert all(t == pytest.approx(1.0) for __, t in finish)
+
+
+def test_shared_cpu_defaults_model_the_nome_machine():
+    sim = Simulator(seed=1)
+    cpu = SharedCpu(sim)
+    assert cpu.cores == 16
+    assert cpu.context_switch_coeff > 0
+
+
+def test_pil_cpu_sleeps_exactly_demand_without_contention():
+    sim = Simulator(seed=1)
+    cpu = PilCpu(sim)
+    finish = []
+
+    def worker(idx):
+        elapsed = yield Compute(cpu, 2.0, tag=f"p{idx}")
+        finish.append((idx, sim.now, elapsed))
+
+    for i in range(50):
+        sim.spawn(worker(i))
+    sim.run()
+    # 50 concurrent "computations" all take exactly 2.0s: the illusion.
+    assert all(t == pytest.approx(2.0) for __, t, __e in finish)
+    assert cpu.slept_seconds == pytest.approx(100.0)
+    assert cpu.utilization() == 0.0
+
+
+def test_pil_cpu_rejects_negative_sleep():
+    sim = Simulator(seed=1)
+    cpu = PilCpu(sim)
+
+    def worker():
+        yield Compute(cpu, 1.0)
+
+    with pytest.raises(ValueError):
+        cpu.submit(-0.5, sim.spawn(worker()))
+
+
+def test_figure1_shape_real_vs_colo_vs_pil():
+    """The core Figure 1 claim in miniature: same N tasks, three models."""
+    n, demand = 8, 1.0
+    # Real scale: each task on its own machine -> t.
+    sim = Simulator(seed=1)
+    real_done = []
+
+    def real_task(cpu):
+        yield Compute(cpu, demand)
+        real_done.append(sim.now)
+
+    for i in range(n):
+        sim.spawn(real_task(DedicatedCpu(sim, cores=1, name=f"m{i}")))
+    sim.run()
+    real_makespan = max(real_done)
+
+    # Basic colocation, 1 core -> N x t.
+    sim = Simulator(seed=1)
+    colo = ProcessorSharingCpu(sim, cores=1)
+    colo_done = []
+
+    def colo_task():
+        yield Compute(colo, demand)
+        colo_done.append(sim.now)
+
+    for i in range(n):
+        sim.spawn(colo_task())
+    sim.run()
+    colo_makespan = max(colo_done)
+
+    # PIL -> t (+ negligible e).
+    sim = Simulator(seed=1)
+    pil = PilCpu(sim)
+    pil_done = []
+
+    def pil_task():
+        yield Compute(pil, demand)
+        pil_done.append(sim.now)
+
+    for i in range(n):
+        sim.spawn(pil_task())
+    sim.run()
+    pil_makespan = max(pil_done)
+
+    assert real_makespan == pytest.approx(demand)
+    assert colo_makespan == pytest.approx(n * demand)
+    assert pil_makespan == pytest.approx(real_makespan)

@@ -1,0 +1,183 @@
+"""Tests for the disk model and data-space emulation policies."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+from repro.sim.disk import (
+    DataEmulationPolicy,
+    Disk,
+    DiskFullError,
+    ZeroByteEmulation,
+)
+from repro.sim.memory import GB, MB
+
+
+def run_writes(disk, writes, sim):
+    """Spawn one writer process per (block_id, owner, size); run; return
+    results dict block_id -> record or exception."""
+    results = {}
+
+    def writer(block_id, owner, size):
+        try:
+            record = yield from disk.write(block_id, owner, size)
+            results[block_id] = record
+        except DiskFullError as error:
+            results[block_id] = error
+
+    for block_id, owner, size in writes:
+        sim.spawn(writer(block_id, owner, size))
+    sim.run()
+    return results
+
+
+def test_write_consumes_capacity_and_time():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=1 * GB, bandwidth_bytes_per_sec=100 * MB)
+    results = run_writes(disk, [("b1", "dn", 200 * MB)], sim)
+    assert results["b1"].physical_size == 200 * MB
+    assert disk.physical_used == 200 * MB
+    assert sim.now == pytest.approx(2.0)   # 200MB at 100MB/s
+
+
+def test_writes_serialize_on_bandwidth():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=1 * GB, bandwidth_bytes_per_sec=100 * MB)
+    run_writes(disk, [("b1", "a", 100 * MB), ("b2", "b", 100 * MB)], sim)
+    assert sim.now == pytest.approx(2.0)   # FIFO, not parallel
+    assert disk.busy_seconds == pytest.approx(2.0)
+
+
+def test_disk_full_raises_and_accounts_correctly():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=250 * MB, bandwidth_bytes_per_sec=1 * GB)
+    results = run_writes(
+        disk,
+        [("b1", "a", 200 * MB), ("b2", "b", 100 * MB)],
+        sim,
+    )
+    outcomes = {k: type(v).__name__ for k, v in results.items()}
+    assert sorted(outcomes.values()) == ["BlockRecord", "DiskFullError"]
+    assert disk.physical_used <= disk.capacity
+    assert len(disk.full_errors) == 1
+
+
+def test_concurrent_writers_cannot_overcommit():
+    """Capacity check happens under the lock: many concurrent writers must
+    never push physical_used past capacity."""
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=500 * MB, bandwidth_bytes_per_sec=10 * GB)
+    writes = [(f"b{i}", f"dn{i}", 100 * MB) for i in range(10)]
+    results = run_writes(disk, writes, sim)
+    stored = [r for r in results.values() if not isinstance(r, Exception)]
+    failed = [r for r in results.values() if isinstance(r, Exception)]
+    assert len(stored) == 5
+    assert len(failed) == 5
+    assert disk.physical_used == 500 * MB
+
+
+def test_rewrite_replaces_block():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=1 * GB, bandwidth_bytes_per_sec=1 * GB)
+    run_writes(disk, [("b1", "a", 100 * MB)], sim)
+    run_writes(disk, [("b1", "a", 50 * MB)], sim)
+    assert disk.physical_used == 50 * MB
+    assert len(disk.blocks) == 1
+
+
+def test_read_returns_record_and_charges_time():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=1 * GB, bandwidth_bytes_per_sec=100 * MB)
+    run_writes(disk, [("b1", "a", 100 * MB)], sim)
+    got = {}
+
+    def reader():
+        record = yield from disk.read("b1")
+        got["record"] = record
+        got["time"] = sim.now
+
+    start = sim.now
+    sim.spawn(reader())
+    sim.run()
+    assert got["record"].logical_size == 100 * MB
+    assert got["time"] - start == pytest.approx(1.0)
+
+
+def test_read_missing_block_raises():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=1 * GB)
+
+    def reader():
+        yield from disk.read("ghost")
+
+    sim.spawn(reader())
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_delete_frees_space():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=1 * GB, bandwidth_bytes_per_sec=1 * GB)
+    results = run_writes(disk, [("b1", "a", 100 * MB)], sim)
+    disk.delete("b1")
+    assert disk.physical_used == 0
+    assert disk.logical_stored == 0
+    disk.delete("b1")  # idempotent
+
+
+def test_blocks_for_owner_and_utilization():
+    sim = Simulator(seed=1)
+    disk = Disk(sim, capacity_bytes=1 * GB, bandwidth_bytes_per_sec=10 * GB)
+    run_writes(disk, [("b1", "a", 100 * MB), ("b2", "b", 100 * MB),
+                      ("b3", "a", 56 * MB)], sim)
+    assert len(disk.blocks_for("a")) == 2
+    assert disk.utilization() == pytest.approx(0.25)
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(ValueError):
+        Disk(sim, capacity_bytes=0)
+    disk = Disk(sim, capacity_bytes=1 * GB)
+
+    def writer():
+        yield from disk.write("b", "o", -1)
+
+    sim.spawn(writer())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+class TestZeroByteEmulation:
+    def test_physical_is_metadata_only(self):
+        policy = ZeroByteEmulation(per_block_metadata=256)
+        assert policy.physical_size(128 * MB) == 256
+
+    def test_time_still_charged_at_logical_size(self):
+        policy = ZeroByteEmulation()
+        assert policy.time_charge_bytes(128 * MB) == 128 * MB
+
+    def test_time_charge_can_be_disabled(self):
+        policy = ZeroByteEmulation(charge_logical_time=False)
+        assert policy.time_charge_bytes(128 * MB) == policy.per_block_metadata
+
+    def test_exalt_colocates_what_faithful_cannot(self):
+        """The Exalt headline: far more datanode data fits per host."""
+        def fill(policy):
+            sim = Simulator(seed=1)
+            disk = Disk(sim, capacity_bytes=1 * GB,
+                        bandwidth_bytes_per_sec=100 * GB, emulation=policy)
+            stored = 0
+            results = run_writes(
+                disk,
+                [(f"b{i}", "dn", 64 * MB) for i in range(100)],
+                sim,
+            )
+            stored = sum(1 for r in results.values()
+                         if not isinstance(r, Exception))
+            return stored, disk.logical_stored
+
+        faithful_count, __ = fill(DataEmulationPolicy())
+        exalt_count, exalt_logical = fill(ZeroByteEmulation())
+        assert faithful_count == 16        # 1GB / 64MB
+        assert exalt_count == 100          # all of them
+        assert exalt_logical == 100 * 64 * MB   # sizes recorded

@@ -1,0 +1,281 @@
+"""Tests for the simulation kernel: processes, channels, locks."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Get,
+    Join,
+    SimError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_timeout_advances_virtual_time():
+    sim = Simulator(seed=1)
+    seen = []
+
+    def proc():
+        yield Timeout(2.5)
+        seen.append(sim.now)
+        yield Timeout(1.5)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [2.5, 4.0]
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator(seed=1)
+    ticks = []
+
+    def ticker():
+        while True:
+            yield Timeout(1.0)
+            ticks.append(sim.now)
+
+    sim.spawn(ticker())
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(SimError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_process_return_value_via_join():
+    sim = Simulator(seed=1)
+    results = []
+
+    def worker():
+        yield Timeout(1.0)
+        return 42
+
+    def waiter(target):
+        value = yield Join(target)
+        results.append((sim.now, value))
+
+    target = sim.spawn(worker())
+    sim.spawn(waiter(target))
+    sim.run()
+    assert results == [(1.0, 42)]
+
+
+def test_join_already_finished_process():
+    sim = Simulator(seed=1)
+    results = []
+
+    def worker():
+        return "done"
+        yield  # pragma: no cover - makes this a generator
+
+    def waiter(target):
+        yield Timeout(5.0)
+        value = yield Join(target)
+        results.append(value)
+
+    target = sim.spawn(worker())
+    sim.spawn(waiter(target))
+    sim.run()
+    assert results == ["done"]
+
+
+def test_strict_mode_propagates_process_errors():
+    sim = Simulator(seed=1, strict=True)
+
+    def crasher():
+        yield Timeout(1.0)
+        raise RuntimeError("boom")
+
+    sim.spawn(crasher())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_non_strict_mode_records_error():
+    sim = Simulator(seed=1, strict=False)
+
+    def crasher():
+        yield Timeout(1.0)
+        raise RuntimeError("boom")
+
+    process = sim.spawn(crasher())
+    sim.run()
+    assert process.finished
+    assert isinstance(process.error, RuntimeError)
+
+
+def test_yielding_non_effect_raises():
+    sim = Simulator(seed=1)
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimError, match="expected an Effect"):
+        sim.run()
+
+
+def test_interrupt_cancels_pending_timeout():
+    sim = Simulator(seed=1)
+    seen = []
+
+    def sleeper():
+        yield Timeout(10.0)
+        seen.append("woke")
+
+    process = sim.spawn(sleeper())
+    sim.run(until=1.0)
+    process.interrupt()
+    sim.run()
+    assert seen == []
+    assert process.finished
+
+
+class TestChannel:
+    def test_put_then_get(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+        got = []
+
+        def receiver():
+            item = yield Get(inbox)
+            got.append((sim.now, item))
+
+        inbox.put("hello")
+        sim.spawn(receiver())
+        sim.run()
+        assert got == [(0.0, "hello")]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+        got = []
+
+        def receiver():
+            item = yield Get(inbox)
+            got.append((sim.now, item))
+
+        def sender():
+            yield Timeout(3.0)
+            inbox.put("late")
+
+        sim.spawn(receiver())
+        sim.spawn(sender())
+        sim.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_ordering(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+        got = []
+
+        def receiver():
+            while True:
+                item = yield Get(inbox)
+                got.append(item)
+
+        for i in range(5):
+            inbox.put(i)
+        sim.spawn(receiver())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_wait_statistics(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+
+        def receiver():
+            yield Timeout(4.0)
+            yield Get(inbox)
+
+        inbox.put("x")
+        sim.spawn(receiver())
+        sim.run()
+        assert inbox.total_enqueued == 1
+        assert inbox.max_wait == pytest.approx(4.0)
+        assert inbox.mean_wait() == pytest.approx(4.0)
+
+    def test_max_depth_tracked(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+        for i in range(7):
+            inbox.put(i)
+        assert inbox.max_depth == 7
+
+
+class TestLock:
+    def test_mutual_exclusion_fifo(self):
+        sim = Simulator(seed=1)
+        lock = sim.lock("l")
+        order = []
+
+        def worker(name, hold):
+            yield Acquire(lock)
+            order.append((name, sim.now))
+            yield Timeout(hold)
+            lock.release()
+
+        sim.spawn(worker("a", 2.0))
+        sim.spawn(worker("b", 1.0))
+        sim.spawn(worker("c", 1.0))
+        sim.run()
+        assert [n for n, _ in order] == ["a", "b", "c"]
+        assert [t for _, t in order] == [0.0, 2.0, 3.0]
+
+    def test_release_unheld_raises(self):
+        sim = Simulator(seed=1)
+        lock = sim.lock("l")
+        with pytest.raises(SimError):
+            lock.release()
+
+    def test_hold_and_wait_statistics(self):
+        sim = Simulator(seed=1)
+        lock = sim.lock("l")
+
+        def holder():
+            yield Acquire(lock)
+            yield Timeout(5.0)
+            lock.release()
+
+        def contender():
+            yield Timeout(1.0)
+            yield Acquire(lock)
+            lock.release()
+
+        sim.spawn(holder())
+        sim.spawn(contender())
+        sim.run()
+        assert lock.max_hold == pytest.approx(5.0)
+        assert lock.max_wait == pytest.approx(4.0)
+        assert lock.contended_acquires == 1
+
+
+def test_determinism_same_seed_same_schedule():
+    def run_once(seed):
+        sim = Simulator(seed=seed)
+        log = []
+
+        def jittery(name):
+            while sim.now < 10.0:
+                delay = sim.rng.uniform(f"delay:{name}", 0.1, 1.0)
+                yield Timeout(delay)
+                log.append((round(sim.now, 9), name))
+
+        sim.spawn(jittery("a"))
+        sim.spawn(jittery("b"))
+        sim.run(until=10.0)
+        return log
+
+    assert run_once(7) == run_once(7)
+    assert run_once(7) != run_once(8)

@@ -1,0 +1,120 @@
+"""Tests for memory accounting and node memory profiles."""
+
+import pytest
+
+from repro.sim import (
+    GB,
+    MB,
+    MachineMemory,
+    NodeMemoryProfile,
+    OutOfMemoryError,
+    single_process_profile,
+)
+
+
+def test_allocate_and_free():
+    memory = MachineMemory(100 * MB)
+    allocation = memory.allocate("node-1", 30 * MB, "heap")
+    assert memory.used == 30 * MB
+    assert memory.available == 70 * MB
+    memory.free(allocation)
+    assert memory.used == 0
+
+
+def test_double_free_is_harmless():
+    memory = MachineMemory(100 * MB)
+    allocation = memory.allocate("n", 10 * MB)
+    memory.free(allocation)
+    memory.free(allocation)
+    assert memory.used == 0
+
+
+def test_oom_raises_and_records():
+    memory = MachineMemory(50 * MB)
+    memory.allocate("a", 40 * MB)
+    with pytest.raises(OutOfMemoryError) as excinfo:
+        memory.allocate("b", 20 * MB, "ring-table")
+    assert excinfo.value.owner == "b"
+    assert excinfo.value.label == "ring-table"
+    assert len(memory.oom_events) == 1
+    # Failed allocation did not change accounting.
+    assert memory.used == 40 * MB
+
+
+def test_peak_tracks_high_water_mark():
+    memory = MachineMemory(100 * MB)
+    a = memory.allocate("a", 60 * MB)
+    memory.free(a)
+    memory.allocate("a", 10 * MB)
+    assert memory.peak == 60 * MB
+
+
+def test_free_owner_releases_everything():
+    memory = MachineMemory(100 * MB)
+    memory.allocate("a", 10 * MB)
+    memory.allocate("a", 20 * MB)
+    memory.allocate("b", 5 * MB)
+    freed = memory.free_owner("a")
+    assert freed == 30 * MB
+    assert memory.usage_by_owner() == {"b": 5 * MB}
+
+
+def test_utilization_fraction():
+    memory = MachineMemory(100 * MB)
+    memory.allocate("a", 25 * MB)
+    assert memory.utilization() == pytest.approx(0.25)
+
+
+def test_invalid_capacity_and_size():
+    with pytest.raises(ValueError):
+        MachineMemory(0)
+    memory = MachineMemory(10 * MB)
+    with pytest.raises(ValueError):
+        memory.allocate("a", -1)
+
+
+class TestNodeMemoryProfile:
+    def test_baseline_includes_runtime_and_threads(self):
+        profile = NodeMemoryProfile()
+        expected = profile.runtime_overhead + 8 * profile.per_thread_stack
+        assert profile.baseline() == expected
+
+    def test_ring_table_scales_with_tokens(self):
+        profile = NodeMemoryProfile()
+        assert profile.ring_table(100, 256) == 100 * 256 * profile.ring_entry_bytes
+
+    def test_rebalance_overallocation_matches_paper_formula(self):
+        # Section 6: each node over-allocates (N-1) x P x 1.3MB while only
+        # needing P x 1.3MB.
+        profile = NodeMemoryProfile()
+        n, p = 100, 256
+        over = profile.rebalance_overallocation(n, p)
+        needed = profile.rebalance_needed(p)
+        assert over == (n - 1) * p * profile.partition_service_bytes
+        assert needed == p * profile.partition_service_bytes
+        assert over == (n - 1) * needed
+
+    def test_single_process_profile_is_far_smaller(self):
+        per_process = NodeMemoryProfile()
+        redesigned = single_process_profile(per_process)
+        assert redesigned.baseline() < per_process.baseline() / 10
+
+    def test_colocation_oom_scenario(self):
+        # 70MB/process prevents colocating ~500 JVM-style nodes in 32GB:
+        # the paper's managed-runtime observation.
+        memory = MachineMemory(32 * GB)
+        profile = NodeMemoryProfile()
+        booted = 0
+        try:
+            for i in range(600):
+                memory.allocate(f"node-{i}", profile.baseline())
+                booted += 1
+        except OutOfMemoryError:
+            pass
+        assert booted < 500
+        # The single-process redesign fits all 600 easily.
+        memory2 = MachineMemory(32 * GB)
+        redesigned = single_process_profile(profile)
+        for i in range(600):
+            memory2.allocate(f"node-{i}", redesigned.baseline())
+        assert memory2.utilization() < 0.1

@@ -1,0 +1,106 @@
+"""Tests for the state-space argument and the space-oblivious footprint."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.colocation import (
+    ColocationAnalyzer,
+    space_oblivious_footprint,
+)
+from repro.core.memoization import MemoDB
+from repro.core.statespace import (
+    StateSpaceReduction,
+    observed_reduction,
+    offline_input_space_log10,
+    per_run_upper_bound,
+)
+from repro.sim.memory import MB
+
+
+class TestStateSpace:
+    def test_paper_formula(self):
+        # (N^(N*P))^2 => log10 = 2*N*P*log10(N)
+        assert offline_input_space_log10(10, 1) == pytest.approx(20.0)
+        assert offline_input_space_log10(256, 256) == pytest.approx(
+            2 * 256 * 256 * math.log10(256))
+
+    def test_degenerate_cases(self):
+        assert offline_input_space_log10(1, 5) == 0.0
+        with pytest.raises(ValueError):
+            offline_input_space_log10(0, 1)
+        with pytest.raises(ValueError):
+            offline_input_space_log10(4, 0)
+
+    def test_per_run_bound_is_activity_linear(self):
+        assert per_run_upper_bound(256, changes=2, messages=100000) == 2048
+        assert per_run_upper_bound(256, changes=2, messages=100) == 100
+        assert per_run_upper_bound(4, changes=0, messages=0) == 1
+
+    def test_observed_reduction_from_db(self):
+        db = MemoDB()
+        db.meta.update({"nodes": 64, "vnodes": 16})
+        for i in range(12):
+            db.put("calc", f"k{i}", {}, 0.1)
+        reduction = observed_reduction(db)
+        assert reduction.observed_distinct_inputs == 12
+        assert reduction.offline_log10 == pytest.approx(
+            offline_input_space_log10(64, 16))
+        assert reduction.reduction_log10 > 1000
+        assert "reduction" in reduction.summary()
+
+    def test_observed_reduction_needs_cluster_size(self):
+        with pytest.raises(ValueError):
+            observed_reduction(MemoDB())
+
+    def test_hdfs_meta_also_accepted(self):
+        db = MemoDB()
+        db.meta.update({"datanodes": 32})
+        db.put("report", "k", {}, 0.1)
+        reduction = observed_reduction(db)
+        assert reduction.nodes == 32
+        assert reduction.partitions_per_node == 1
+
+    @given(nodes=st.integers(min_value=8, max_value=500),
+           partitions=st.integers(min_value=2, max_value=512))
+    @settings(max_examples=50)
+    def test_property_offline_space_dwarfs_any_run(self, nodes, partitions):
+        """At any cluster size the paper cares about (the bound is only
+        interesting once there is a cluster), the offline input space
+        exceeds what one recorded run can produce -- by a margin that
+        grows with scale."""
+        offline = offline_input_space_log10(nodes, partitions)
+        run_bound = per_run_upper_bound(nodes, changes=10, messages=10 ** 6)
+        assert offline > math.log10(run_bound)
+        bigger = offline_input_space_log10(nodes * 2, partitions)
+        assert bigger > offline
+
+
+class TestSpaceObliviousFootprint:
+    def test_overallocation_matches_paper_formula(self):
+        buggy = space_oblivious_footprint(over_allocates=True)
+        fixed = space_oblivious_footprint(over_allocates=False)
+        n, p = 100, 256
+        delta = buggy.bytes_for(n, p) - fixed.bytes_for(n, p)
+        # (N-1)*P services vs P services: difference (N-2)*P*1.3MB.
+        assert delta == (n - 2) * p * int(1.3 * MB)
+
+    def test_bug_collapses_colocation_factor(self):
+        buggy = ColocationAnalyzer(
+            pil=True, footprint=space_oblivious_footprint(True), vnodes=256)
+        fixed = ColocationAnalyzer(
+            pil=True, footprint=space_oblivious_footprint(False), vnodes=256)
+        buggy_max = buggy.max_colocation_factor()
+        fixed_max = fixed.max_colocation_factor()
+        assert buggy_max < fixed_max / 4
+        # The binding constraint is memory either way.
+        failing = buggy.probe(buggy_max + 4)
+        assert "memory-exhaustion" in failing.bottlenecks
+
+    def test_single_node_needs_no_overallocation(self):
+        buggy = space_oblivious_footprint(True)
+        fixed = space_oblivious_footprint(False)
+        # With N=1 there are no peers: (N-1)*P = 0 services.
+        assert buggy.bytes_for(1, 8) < fixed.bytes_for(1, 8)

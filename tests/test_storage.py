@@ -1,0 +1,198 @@
+"""Tests for the data path: replica selection, consistency, availability."""
+
+import pytest
+
+from repro.bench.calibrate import ci_cost_constants
+from repro.cassandra import Cluster, ClusterConfig, Mode, ScenarioParams
+from repro.cassandra.cluster import node_name
+from repro.cassandra.storage import (
+    ClientLoad,
+    ClientStats,
+    ConsistencyLevel,
+    OperationResult,
+)
+from repro.cassandra.workloads import _decommission_driver
+
+
+def storage_cluster(bug_id="c3831-fixed", nodes=6, seed=3, **overrides):
+    config = ClusterConfig.for_bug(bug_id, nodes=nodes, seed=seed,
+                                   enable_storage=True, **overrides)
+    cluster = Cluster(config)
+    cluster.build_established()
+    return cluster
+
+
+def run_op(cluster, op_gen):
+    """Run one coordinator operation to completion; return its result."""
+    outcome = {}
+
+    def driver():
+        result = yield from op_gen
+        outcome["result"] = result
+
+    cluster.sim.spawn(driver(), name="op-driver")
+    cluster.run(until=cluster.sim.now + 5.0)
+    return outcome["result"]
+
+
+class TestConsistencyLevel:
+    def test_required_counts(self):
+        assert ConsistencyLevel.ONE.required(3) == 1
+        assert ConsistencyLevel.QUORUM.required(3) == 2
+        assert ConsistencyLevel.QUORUM.required(5) == 3
+        assert ConsistencyLevel.ALL.required(3) == 3
+        assert ConsistencyLevel.QUORUM.required(0) == 1
+
+
+class TestReplicaSelection:
+    def test_rf_distinct_natural_replicas(self):
+        cluster = storage_cluster()
+        cluster.run(until=5.0)
+        node = cluster.nodes[node_name(0)]
+        replicas = node.storage.replicas_for("some-key")
+        assert len(replicas) == 3  # rf default
+        assert len(set(replicas)) == 3
+
+    def test_pending_endpoints_included_during_membership_change(self):
+        cluster = storage_cluster()
+        cluster.run(until=10.0)
+        node = cluster.nodes[node_name(0)]
+        # Decommission a replica of the key: pending gainers must appear.
+        key = "pending-probe"
+        before = node.storage.replicas_for(key)
+        victim = before[0]
+        node.metadata.add_leaving_endpoint(victim)
+
+        def trigger():
+            yield from node._run_calculation()
+
+        cluster.sim.spawn(trigger(), name="calc")
+        cluster.run(until=cluster.sim.now + 30.0)
+        after = node.storage.replicas_for(key)
+        assert set(before) < set(after)  # gained at least one pending target
+
+    def test_live_view_filters_convicted_peers(self):
+        cluster = storage_cluster()
+        cluster.run(until=5.0)
+        node = cluster.nodes[node_name(0)]
+        replicas = node.storage.replicas_for("k")
+        other = [r for r in replicas if r != node.node_id][0]
+        node.gossiper.live_endpoints.discard(other)
+        node.gossiper.unreachable_endpoints.add(other)
+        assert other not in node.storage.live_view(replicas)
+
+
+class TestReadWritePath:
+    def test_quorum_write_then_read_roundtrip(self):
+        cluster = storage_cluster()
+        cluster.run(until=5.0)
+        node = cluster.nodes[node_name(1)]
+        write = run_op(cluster, node.storage.coordinate_write(
+            "k1", "hello", ConsistencyLevel.QUORUM))
+        assert write.ok
+        assert write.acks >= 2
+        read = run_op(cluster, node.storage.coordinate_read(
+            "k1", ConsistencyLevel.QUORUM))
+        assert read.ok
+        assert read.value == "hello"
+
+    def test_read_from_any_coordinator_sees_the_write(self):
+        cluster = storage_cluster()
+        cluster.run(until=5.0)
+        writer = cluster.nodes[node_name(0)]
+        run_op(cluster, writer.storage.coordinate_write(
+            "shared", "v1", ConsistencyLevel.ALL))
+        reader = cluster.nodes[node_name(4)]
+        read = run_op(cluster, reader.storage.coordinate_read(
+            "shared", ConsistencyLevel.QUORUM))
+        assert read.ok and read.value == "v1"
+
+    def test_read_of_missing_key_succeeds_with_none(self):
+        cluster = storage_cluster()
+        cluster.run(until=5.0)
+        node = cluster.nodes[node_name(0)]
+        read = run_op(cluster, node.storage.coordinate_read(
+            "nope", ConsistencyLevel.ONE))
+        assert read.ok
+        assert read.value is None
+
+    def test_unavailable_when_replicas_convicted(self):
+        cluster = storage_cluster()
+        cluster.run(until=5.0)
+        node = cluster.nodes[node_name(0)]
+        key = "k-unavail"
+        replicas = node.storage.replicas_for(key)
+        for peer in replicas:
+            if peer != node.node_id:
+                node.gossiper.live_endpoints.discard(peer)
+                node.gossiper.unreachable_endpoints.add(peer)
+        write = run_op(cluster, node.storage.coordinate_write(
+            key, "v", ConsistencyLevel.QUORUM))
+        assert not write.ok
+        assert write.error == "unavailable"
+
+    def test_timeout_when_replicas_silently_dead(self):
+        cluster = storage_cluster()
+        cluster.run(until=5.0)
+        node = cluster.nodes[node_name(0)]
+        key = "k-timeout"
+        # Crash the other replicas at the network but leave the
+        # coordinator's liveness view stale (it still believes them up).
+        for peer in node.storage.replicas_for(key):
+            if peer != node.node_id:
+                cluster.network.crash(peer)
+                cluster.network.crash(f"{peer}:storage")
+        write = run_op(cluster, node.storage.coordinate_write(
+            key, "v", ConsistencyLevel.QUORUM))
+        assert not write.ok
+        assert write.error == "timeout"
+
+
+class TestClientLoad:
+    def test_healthy_cluster_serves_everything(self):
+        cluster = storage_cluster()
+        load = ClientLoad(cluster, clients=3, interval=1.0)
+        load.start()
+        cluster.run(until=30.0)
+        assert load.stats.attempts > 50
+        assert load.stats.failure_fraction == 0.0
+        assert load.stats.mean_latency() < 0.1
+
+    def test_flapping_causes_user_visible_failures(self):
+        """The section 1 claim, end to end: the c3831 storm makes data
+        unreachable for clients while the fixed variant stays clean."""
+        def run(bug_id):
+            cluster = storage_cluster(
+                bug_id, nodes=32,
+                cost_constants=ci_cost_constants(bug_id))
+            load = ClientLoad(cluster, clients=4, interval=1.0)
+            cluster.run(until=20.0)
+            load.start()
+            params = ScenarioParams(warmup=20.0, observe=80.0,
+                                    leaving_duration=15.0)
+            victim = cluster.nodes[node_name(31)]
+            cluster.sim.spawn(_decommission_driver(victim, params))
+            cluster.run(until=100.0)
+            return cluster, load.stats
+
+        buggy_cluster, buggy = run("c3831")
+        fixed_cluster, fixed = run("c3831-fixed")
+        assert buggy_cluster.flaps.total > 0
+        assert fixed_cluster.flaps.total == 0
+        assert buggy.failure_fraction > 0.0
+        assert fixed.failure_fraction == 0.0
+
+    def test_client_stats_bookkeeping(self):
+        stats = ClientStats()
+        stats.record(OperationResult(ok=True, key="k", kind="write",
+                                     latency=0.1), now=1.0)
+        stats.record(OperationResult(ok=False, key="k", kind="read",
+                                     latency=2.0, error="unavailable"),
+                     now=2.5)
+        stats.record(OperationResult(ok=False, key="k", kind="read",
+                                     latency=2.0, error="timeout"), now=2.7)
+        assert stats.attempts == 3
+        assert stats.unavailable == 1
+        assert stats.timeouts == 1
+        assert stats.failure_fraction == pytest.approx(2 / 3)
+        assert stats.failures_by_second == {2: 2}

@@ -1,0 +1,140 @@
+"""Tests for the scalability-bug study database and analyses."""
+
+import pytest
+
+from repro.study import (
+    BugRecord,
+    BugStudy,
+    CAUSE_CPU,
+    CAUSE_SERIALIZED,
+    PAPER_SYSTEM_COUNTS,
+    default_study,
+    render_population_table,
+    summarize,
+    surfaced_scale_histogram,
+    verify_against_paper,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return default_study()
+
+
+def test_population_matches_every_paper_aggregate(study):
+    assert verify_against_paper(study) == []
+
+
+def test_counts_by_system(study):
+    assert study.counts_by_system() == PAPER_SYSTEM_COUNTS
+    assert len(study) == 38
+
+
+def test_root_cause_split_is_47_53(study):
+    split = study.root_cause_split()
+    cpu_count, cpu_fraction = split[CAUSE_CPU]
+    ser_count, ser_fraction = split[CAUSE_SERIALIZED]
+    assert cpu_count == 18 and ser_count == 20
+    assert cpu_fraction == pytest.approx(18 / 38)
+    assert cpu_fraction + ser_fraction == pytest.approx(1.0)
+
+
+def test_fix_duration_one_month_mean_five_month_max(study):
+    stats = study.fix_duration_stats()
+    assert 25 <= stats["mean_days"] <= 37
+    assert stats["max_days"] == 150
+
+
+def test_named_bugs_are_the_six_cassandra_tickets(study):
+    named = study.named_in_paper()
+    assert len(named) == 6
+    assert all(r.system == "cassandra" for r in named)
+    ids = {r.bug_id for r in named}
+    assert "CASSANDRA-3831" in ids and "CASSANDRA-6127" in ids
+
+
+def test_title_claim_most_bugs_missed_at_100_nodes(study):
+    """'When 100-Node Testing is Not Enough': most studied bugs need more
+    than 100 nodes to surface."""
+    assert study.fraction_missed_at(100) > 0.5
+    # And testing at 500+ catches almost everything in this population.
+    assert study.fraction_missed_at(5000) == 0.0
+
+
+def test_protocol_diversity(study):
+    protocols = set(study.protocols())
+    assert {"bootstrap", "scale-out", "decommission",
+            "rebalance", "failover"} <= protocols
+    by_protocol = study.counts_by_protocol()
+    assert sum(by_protocol.values()) == 38
+
+
+def test_filters_and_get(study):
+    cassandra = study.by_system("cassandra")
+    assert len(cassandra) == 9
+    cpu = study.by_cause(CAUSE_CPU)
+    assert len(cpu) == 18
+    record = study.get("CASSANDRA-3831")
+    assert record.protocol == "decommission"
+    with pytest.raises(KeyError):
+        study.get("nope")
+
+
+def test_histogram_covers_population(study):
+    histogram = surfaced_scale_histogram(study)
+    assert sum(histogram.values()) == 38
+    # A meaningful share of bugs only surfaces beyond 100 nodes.
+    beyond_100 = sum(v for k, v in histogram.items()
+                     if k in ("101-200", "201-500", "501-1000", ">1000"))
+    assert beyond_100 >= 19
+
+
+def test_render_population_table_mentions_key_numbers(study):
+    table = render_population_table(study)
+    assert "38" in table
+    assert "47%" in table and "53%" in table
+    assert "cassandra" in table
+
+
+def test_summary_dataclass_fields(study):
+    summary = summarize(study)
+    assert summary.total == 38
+    assert summary.cpu_count + summary.serialized_count == 38
+    assert summary.missed_at_100 > 0.5
+
+
+class TestSchemaValidation:
+    def test_bad_root_cause_rejected(self):
+        with pytest.raises(ValueError):
+            BugRecord(bug_id="x", system="s", title="t", protocol="bootstrap",
+                      root_cause="cosmic-rays", complexity="O(N)",
+                      surfaced_at_nodes=10, fix_days=1, symptom="s")
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            BugRecord(bug_id="x", system="s", title="t", protocol="dancing",
+                      root_cause=CAUSE_CPU, complexity="O(N)",
+                      surfaced_at_nodes=10, fix_days=1, symptom="s")
+
+    def test_nonpositive_fields_rejected(self):
+        with pytest.raises(ValueError):
+            BugRecord(bug_id="x", system="s", title="t", protocol="bootstrap",
+                      root_cause=CAUSE_CPU, complexity="O(N)",
+                      surfaced_at_nodes=10, fix_days=0, symptom="s")
+
+    def test_duplicate_ids_rejected(self):
+        record = BugRecord(bug_id="dup", system="s", title="t",
+                           protocol="bootstrap", root_cause=CAUSE_CPU,
+                           complexity="O(N)", surfaced_at_nodes=10,
+                           fix_days=1, symptom="s")
+        with pytest.raises(ValueError):
+            BugStudy([record, record])
+
+    def test_verify_flags_broken_population(self):
+        study = BugStudy([BugRecord(
+            bug_id="only", system="cassandra", title="t",
+            protocol="bootstrap", root_cause=CAUSE_CPU, complexity="O(N)",
+            surfaced_at_nodes=10, fix_days=30, symptom="s")])
+        problems = verify_against_paper(study)
+        assert problems  # many mismatches
+        assert any("38" in p for p in problems)
