@@ -241,6 +241,57 @@ class Cluster:
         for name in names:
             self.start_node(self.nodes[name])
 
+    # -- fault injection (the repro.faults seam) -----------------------------------
+
+    def crash_node(self, node_id: str) -> bool:
+        """Hard-kill a node: processes stop, traffic drops, memory is freed.
+
+        Peers keep gossiping about the silent peer until their phi-accrual
+        detectors convict it -- crash *detection* flows through the normal
+        failure-detector path, not through any injector back-channel.
+        Returns False for unknown or already-dead nodes.
+        """
+        node = self.nodes.get(node_id)
+        if node is None or not node.running:
+            return False
+        self.network.crash(node_id)
+        node.stop()
+        if self.memory is not None:
+            self.memory.free_owner(node_id)
+        return True
+
+    def restart_node(self, node_id: str) -> bool:
+        """Boot a fresh incarnation of a crashed (or running) node.
+
+        The replacement keeps the node id and token set but bumps the
+        gossip generation, so peers observe a restart: their detectors see
+        fresh heartbeats, record a recovery, and re-mark the node alive.
+        Returns False when the node was never a member or OOMs on restart.
+        """
+        old = self.nodes.pop(node_id, None)
+        if old is None:
+            return False
+        if old.running:  # a restart without a prior crash is a bounce
+            old.stop()
+            if self.memory is not None:
+                self.memory.free_owner(node_id)
+        self.network.recover(node_id)
+        generation = old.gossiper.own_state.heartbeat.generation + 1
+        node = self.add_node(node_id, generation=generation)
+        node.establish_normal()
+        if not self.start_node(node):
+            return False
+        return True
+
+    def fault_cpu(self, node_id: str) -> Optional[CpuModel]:
+        """The CPU model chaos antagonists should stress for ``node_id``."""
+        node = self.nodes.get(node_id)
+        return node.cpu if node is not None else None
+
+    def fault_disk(self, node_id: str):
+        """Cassandra-model nodes have no per-node disk to throttle."""
+        return None
+
     # -- execution ---------------------------------------------------------------------
 
     def run(self, until: float) -> None:
@@ -288,6 +339,11 @@ class Cluster:
             calc_records=[r for r in self.calc_records if r.time >= observe_from],
             messages_sent=self.network.sent,
             messages_delivered=self.network.delivered,
+            messages_dropped=self.network.dropped,
+            dropped_down=self.network.dropped_down,
+            dropped_cut=self.network.dropped_cut,
+            dropped_unknown_dst=self.network.dropped_unknown_dst,
+            dropped_degraded=self.network.dropped_degraded,
             cpu_utilization=util,
             cpu_peak_utilization=peak,
             mean_stretch=(sum(stretches) / len(stretches)) if stretches else 1.0,

@@ -88,6 +88,14 @@ class RunReport:
     calc_records: List[CalcRecord] = field(default_factory=list)
     messages_sent: int = 0
     messages_delivered: int = 0
+    #: Total drops plus the per-reason split (crashed endpoint, partition
+    #: cut, unregistered address, degraded-link loss) -- the observability
+    #: a chaos run needs to attribute lost traffic to the fault that ate it.
+    messages_dropped: int = 0
+    dropped_down: int = 0
+    dropped_cut: int = 0
+    dropped_unknown_dst: int = 0
+    dropped_degraded: int = 0
     cpu_utilization: float = 0.0
     cpu_peak_utilization: float = 0.0
     mean_stretch: float = 1.0

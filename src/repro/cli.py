@@ -4,6 +4,8 @@ Commands map one-to-one onto the library's main entry points:
 
 * ``check``      -- run the scale-check pipeline for a bug at a scale and
                     print the Real / Colo / SC+PIL comparison;
+* ``chaos``      -- search for (and shrink) a fault schedule that amplifies
+                    a bug's symptom, then verify the PIL replay under it;
 * ``finder``     -- run the offending-function finder over the calculation
                     corpus (or any importable module) and print the report;
 * ``figure3``    -- regenerate one Figure 3 panel (flaps vs scale);
@@ -15,6 +17,7 @@ Commands map one-to-one onto the library's main entry points:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import importlib
 import sys
 from typing import List, Optional
@@ -24,6 +27,7 @@ from .bench.figures import render_figure3
 from .bench.runner import figure3_series, make_check
 from .bench.tables import colocation_limits, render_colocation_limits
 from .cassandra.bugs import all_bugs
+from .cassandra.cluster import node_name
 from .core.finder import Finder
 from .core.report import (
     render_finder_report,
@@ -31,6 +35,7 @@ from .core.report import (
     render_mode_comparison,
 )
 from .core.scalecheck import ScaleCheck
+from .faults import ChaosConfig, FaultSchedule, generate_schedule, shrink
 from .study import default_study, render_population_table
 
 
@@ -50,6 +55,85 @@ def _cmd_check(args: argparse.Namespace) -> int:
     print(f"\nflap error vs real: colo {accuracy['colo_error']:.0%}, "
           f"SC+PIL {accuracy['pil_error']:.0%}")
     return 0
+
+
+def _chaos_scale_check(args: argparse.Namespace) -> ScaleCheck:
+    check = make_check(args.bug, args.nodes, seed=args.seed)
+    overrides = {}
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    if args.observe is not None:
+        overrides["observe"] = args.observe
+    if overrides:
+        check.params = dataclasses.replace(check.params, **overrides)
+    return check
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    check = _chaos_scale_check(args)
+    population = [node_name(i) for i in range(args.nodes)]
+    horizon = args.horizon
+    if horizon is None:
+        horizon = check.params.warmup + check.params.observe
+    config = ChaosConfig(events=args.events, horizon=horizon)
+
+    print(f"chaos-checking {args.bug} at {args.nodes} nodes "
+          f"(seed {args.seed})...")
+    baseline = check.run_colo()
+    print(f"baseline (no faults): {baseline.flaps} flaps")
+
+    def flaps_under(schedule: FaultSchedule) -> int:
+        return check.run_colo(faults=schedule).flaps
+
+    if args.load_schedule:
+        schedule = FaultSchedule.load(args.load_schedule)
+        print(f"loaded {len(schedule)}-event schedule "
+              f"{schedule.name!r} from {args.load_schedule}")
+    else:
+        schedule = None
+        best_flaps = -1
+        for gen_seed in range(args.chaos_seed, args.chaos_seed + args.tries):
+            candidate = generate_schedule(population, gen_seed, config)
+            flaps = flaps_under(candidate)
+            print(f"  generator seed {gen_seed}: {len(candidate)} events, "
+                  f"{flaps} flaps")
+            if flaps > best_flaps:
+                schedule, best_flaps = candidate, flaps
+            if flaps >= args.min_flap_ratio * max(baseline.flaps, 1):
+                break
+        if schedule is None:
+            print("no schedule generated")
+            return 1
+
+    chaos_flaps = flaps_under(schedule)
+    target = args.min_flap_ratio * max(baseline.flaps, 1)
+    ratio = chaos_flaps / max(baseline.flaps, 1)
+    print(f"chaos run: {chaos_flaps} flaps "
+          f"({ratio:.1f}x baseline, target {args.min_flap_ratio:.1f}x)")
+
+    if args.shrink and chaos_flaps >= target:
+        result = shrink(schedule,
+                        lambda s: flaps_under(s) >= target,
+                        max_evals=args.max_evals)
+        schedule = result.schedule
+        print(result.summary())
+        for event in schedule.sorted_events():
+            print(f"  {event.describe()}")
+
+    if args.save_schedule:
+        schedule.save(args.save_schedule)
+        print(f"schedule saved to {args.save_schedule}")
+
+    if args.pil:
+        result = check.check(faults=schedule)
+        memo_flaps = result.memo_report.flaps
+        pil_flaps = result.replay_report.flaps
+        delta = abs(pil_flaps - memo_flaps) / max(memo_flaps, pil_flaps, 1)
+        print(f"under schedule: colo {memo_flaps} flaps, "
+              f"SC+PIL replay {pil_flaps} flaps ({delta:.0%} apart, "
+              f"hit rate {result.replay.hit_rate:.0%})")
+
+    return 0 if chaos_flaps >= target else 1
 
 
 def _cmd_finder(args: argparse.Namespace) -> int:
@@ -105,6 +189,41 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--save-db", default=None,
                        help="write the memoization DB to this JSON file")
     check.set_defaults(func=_cmd_check)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="find, shrink, and replay a symptom-amplifying fault schedule")
+    chaos.add_argument("--bug", default="c6127")
+    chaos.add_argument("--nodes", type=int, default=24)
+    chaos.add_argument("--seed", type=int, default=42,
+                       help="simulation seed (cluster RNG)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="first generator seed to try")
+    chaos.add_argument("--tries", type=int, default=5,
+                       help="generator seeds to try before settling")
+    chaos.add_argument("--events", type=int, default=8,
+                       help="primary fault events per generated schedule")
+    chaos.add_argument("--horizon", type=float, default=None,
+                       help="chaos window in virtual seconds "
+                            "(default: warmup + observe)")
+    chaos.add_argument("--warmup", type=float, default=None)
+    chaos.add_argument("--observe", type=float, default=None)
+    chaos.add_argument("--min-flap-ratio", type=float, default=2.0,
+                       help="amplification target vs the fault-free baseline")
+    chaos.add_argument("--shrink", action="store_true", default=True,
+                       help="delta-debug the schedule down (default)")
+    chaos.add_argument("--no-shrink", dest="shrink", action="store_false")
+    chaos.add_argument("--max-evals", type=int, default=50,
+                       help="shrink evaluation budget (each is one run)")
+    chaos.add_argument("--pil", action="store_true", default=True,
+                       help="verify the PIL replay under the schedule "
+                            "(default)")
+    chaos.add_argument("--no-pil", dest="pil", action="store_false")
+    chaos.add_argument("--save-schedule", default=None,
+                       help="write the final schedule to this JSON file")
+    chaos.add_argument("--load-schedule", default=None,
+                       help="enact a saved schedule instead of generating")
+    chaos.set_defaults(func=_cmd_chaos)
 
     finder = sub.add_parser("finder", help="run the offending-function finder")
     finder.add_argument("--module", default=None,

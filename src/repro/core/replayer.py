@@ -20,6 +20,8 @@ from typing import Optional
 from ..cassandra.cluster import Cluster, ClusterConfig, Mode
 from ..cassandra.metrics import RunReport
 from ..cassandra.workloads import ScenarioParams, run_workload
+from ..faults.injector import install_faults
+from ..faults.schedule import FaultSchedule
 from ..sim.kernel import Simulator, Timeout
 from ..sim.network import OrderEnforcer
 from .memoization import MemoDB
@@ -51,6 +53,7 @@ class ReplayHarness:
         miss_policy: MissPolicy = MissPolicy.MODEL,
         enforce_order: bool = False,
         watchdog_interval: float = 1.0,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         if config.mode is not Mode.PIL:
             raise ValueError("replay requires a PIL-mode cluster config")
@@ -60,6 +63,7 @@ class ReplayHarness:
         self.miss_policy = miss_policy
         self.enforce_order = enforce_order
         self.watchdog_interval = watchdog_interval
+        self.faults = faults
 
     def _watchdog(self, sim: Simulator, enforcer: OrderEnforcer):
         """Skip past recorded-but-missing messages when replay stalls.
@@ -82,6 +86,7 @@ class ReplayHarness:
         executor = PilReplayExecutor(self.db, cluster.sim,
                                      miss_policy=self.miss_policy)
         cluster.executor = executor
+        install_faults(cluster, self.faults)
         if enforcer is not None:
             cluster.sim.spawn(self._watchdog(cluster.sim, enforcer),
                               name="order-watchdog")

@@ -32,6 +32,8 @@ from ..cassandra.metrics import RunReport, accuracy_error
 from ..cassandra.node import NodeCosts
 from ..cassandra.pending_ranges import CostConstants
 from ..cassandra.workloads import ScenarioParams, run_workload
+from ..faults.injector import install_faults
+from ..faults.schedule import FaultSchedule
 from .finder import Finder, FinderReport
 from .memoization import MemoDB
 from .pil import CALC_FUNC_ID, MemoizingExecutor, MissPolicy
@@ -102,23 +104,27 @@ class ScaleCheck:
 
     # -- baselines ----------------------------------------------------------------------
 
-    def run_real(self) -> RunReport:
+    def run_real(self, faults: Optional[FaultSchedule] = None) -> RunReport:
         """Real-scale testing: every node on its own (simulated) machine."""
         cluster = Cluster(self.config(Mode.REAL))
+        install_faults(cluster, faults)
         return run_workload(cluster, self.bug.workload, self.params)
 
-    def run_colo(self) -> RunReport:
+    def run_colo(self, faults: Optional[FaultSchedule] = None) -> RunReport:
         """Basic colocation: all nodes contend on one machine, no PIL."""
         cluster = Cluster(self.config(Mode.COLO))
+        install_faults(cluster, faults)
         return run_workload(cluster, self.bug.workload, self.params)
 
     # -- steps (c)+(d): memoization under basic colocation -------------------------------
 
-    def memoize(self, db: Optional[MemoDB] = None) -> ScaleCheckResult:
+    def memoize(self, db: Optional[MemoDB] = None,
+                faults: Optional[FaultSchedule] = None) -> ScaleCheckResult:
         """One-time recording run; returns result with replay not yet run."""
         db = db if db is not None else MemoDB()
         cluster = Cluster(self.config(Mode.COLO))
         cluster.executor = MemoizingExecutor(db, noise_sigma=self.memo_noise_sigma)
+        install_faults(cluster, faults)
         report = run_workload(cluster, self.bug.workload, self.params)
         db.record_message_order(cluster.network.delivery_log)
         db.meta.update({
@@ -144,14 +150,21 @@ class ScaleCheck:
         db: MemoDB,
         enforce_order: bool = False,
         miss_policy: MissPolicy = MissPolicy.MODEL,
+        faults: Optional[FaultSchedule] = None,
     ) -> ReplayResult:
-        """Switch to replay mode / perform a replay."""
+        """Switch to replay mode / perform a replay.
+
+        Passing the same ``faults`` schedule used for the memoization run
+        replays the chaos deterministically under PIL: the injector fires
+        at identical virtual times in both runs.
+        """
         harness = ReplayHarness(
             db=db,
             config=self.config(Mode.PIL),
             params=self.params,
             miss_policy=miss_policy,
             enforce_order=enforce_order,
+            faults=faults,
         )
         return harness.replay()
 
@@ -161,19 +174,25 @@ class ScaleCheck:
         self,
         enforce_order: bool = False,
         miss_policy: MissPolicy = MissPolicy.MODEL,
+        faults: Optional[FaultSchedule] = None,
     ) -> ScaleCheckResult:
-        """Memoize once, replay once: the paper's scale-check flow."""
-        result = self.memoize()
+        """Memoize once, replay once: the paper's scale-check flow.
+
+        ``faults`` subjects *both* runs to the same chaos schedule, so the
+        memoized durations and the replay's symptom counts are produced
+        under identical cluster weather.
+        """
+        result = self.memoize(faults=faults)
         result.replay = self.replay(result.db, enforce_order=enforce_order,
-                                    miss_policy=miss_policy)
+                                    miss_policy=miss_policy, faults=faults)
         return result
 
     # -- evaluation helper --------------------------------------------------------------------
 
-    def compare_modes(self) -> Dict[str, RunReport]:
+    def compare_modes(self, faults: Optional[FaultSchedule] = None) -> Dict[str, RunReport]:
         """One Figure-3 data point: Real, Colo, and SC+PIL flap counts."""
-        real = self.run_real()
-        result = self.check()
+        real = self.run_real(faults=faults)
+        result = self.check(faults=faults)
         return {
             "real": real,
             "colo": result.memo_report,

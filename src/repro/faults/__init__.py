@@ -1,0 +1,64 @@
+"""Deterministic fault injection and chaos schedules.
+
+The paper's scalability bugs are *triggered* by cluster events -- node
+flapping, decommission storms, partitions, churn.  This subsystem makes
+those triggers first-class and reproducible:
+
+* :mod:`repro.faults.primitives` -- serializable fault dataclasses
+  (:class:`NodeCrash`, :class:`NodeRestart`, :class:`PartitionCut`,
+  :class:`Heal`, :class:`LinkDegrade`, :class:`DiskDegrade`,
+  :class:`CpuStress`);
+* :mod:`repro.faults.schedule` -- a :class:`FaultSchedule` of timed events
+  with a lossless JSON round trip;
+* :mod:`repro.faults.injector` -- an :class:`Injector` process that enacts
+  a schedule inside the :class:`~repro.sim.kernel.Simulator` at exact
+  virtual times, against Cassandra-like and HDFS-like clusters through one
+  :class:`ClusterFaultTarget` adapter;
+* :mod:`repro.faults.chaos` -- a seeded random chaos-schedule generator;
+* :mod:`repro.faults.shrinker` -- a delta-debugging minimizer that shrinks
+  a schedule while preserving a symptom predicate.
+
+Because the injector runs in virtual time and every random draw comes from
+a named seeded stream, the same (seed, schedule) pair replays byte-for-byte
+-- including under PIL-infused replay (:meth:`repro.core.scalecheck.
+ScaleCheck.replay` accepts ``faults=``).
+"""
+
+from .chaos import ChaosConfig, generate_schedule, search_amplifying_schedule
+from .injector import ClusterFaultTarget, FaultTarget, Injector, install_faults
+from .primitives import (
+    CpuStress,
+    DiskDegrade,
+    Fault,
+    Heal,
+    LinkDegrade,
+    NodeCrash,
+    NodeRestart,
+    PartitionCut,
+    fault_from_dict,
+)
+from .schedule import FaultSchedule, merge_schedules
+from .shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "ChaosConfig",
+    "ClusterFaultTarget",
+    "CpuStress",
+    "DiskDegrade",
+    "Fault",
+    "FaultSchedule",
+    "FaultTarget",
+    "Heal",
+    "Injector",
+    "LinkDegrade",
+    "NodeCrash",
+    "NodeRestart",
+    "PartitionCut",
+    "ShrinkResult",
+    "fault_from_dict",
+    "generate_schedule",
+    "install_faults",
+    "merge_schedules",
+    "search_amplifying_schedule",
+    "shrink",
+]

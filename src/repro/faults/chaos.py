@@ -1,0 +1,183 @@
+"""Seeded random chaos-schedule generation.
+
+``generate_schedule(nodes, seed, config)`` draws a plausible storm of
+cluster misfortune -- crash/restart churn, partitions that heal, lossy
+links, slow disks, CPU antagonists -- from one ``random.Random(seed)``
+stream, so the same (nodes, seed, config) triple always yields the same
+schedule.  The generator is deliberately self-contained (it does not touch
+the simulator's RNG): generating a schedule never perturbs the run that
+enacts it.
+
+The knobs live in :class:`ChaosConfig`.  Weights select fault kinds;
+everything else bounds the blast radius (partition size, degrade severity,
+outage length) so generated schedules stay survivable -- the goal is to
+*amplify* protocol symptoms, not to kill the whole cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .primitives import (
+    CpuStress,
+    DiskDegrade,
+    Fault,
+    Heal,
+    LinkDegrade,
+    NodeCrash,
+    NodeRestart,
+    PartitionCut,
+)
+from .schedule import FaultSchedule
+
+
+def _default_weights() -> Dict[str, float]:
+    return {
+        NodeCrash.kind: 3.0,
+        PartitionCut.kind: 2.0,
+        LinkDegrade.kind: 2.0,
+        CpuStress.kind: 1.0,
+        DiskDegrade.kind: 1.0,
+    }
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs for the chaos generator."""
+
+    #: Number of primary fault events to draw (restarts and heals that pair
+    #: with crashes/partitions come on top).
+    events: int = 8
+    #: Virtual-time window [start, horizon] events are placed in.
+    start: float = 0.0
+    horizon: float = 120.0
+    #: Relative draw weights per fault kind (missing kinds are never drawn).
+    weights: Dict[str, float] = field(default_factory=_default_weights)
+    #: Crashed nodes are restarted after [min, max] seconds of downtime.
+    outage: tuple = (5.0, 30.0)
+    #: Fraction of crashes left permanent (no matching restart).
+    permanent_crash_p: float = 0.2
+    #: Partition minority side size as a fraction of the cluster, and the
+    #: [min, max] seconds before the matching heal.
+    partition_fraction: float = 0.25
+    partition_duration: tuple = (5.0, 30.0)
+    #: Link-degrade drop probability and latency-multiplier ranges.
+    drop_p: tuple = (0.2, 0.9)
+    latency_mult: tuple = (2.0, 10.0)
+    degrade_duration: tuple = (5.0, 40.0)
+    #: CPU-stress antagonist count and duration ranges.
+    hogs: tuple = (1, 4)
+    stress_duration: tuple = (5.0, 20.0)
+    #: Disk throttle factor range.
+    disk_factor: tuple = (0.05, 0.5)
+    disk_duration: tuple = (5.0, 30.0)
+    #: Never have more than this fraction of the cluster crashed at once.
+    max_down_fraction: float = 0.34
+
+
+def generate_schedule(nodes: Sequence[str], seed: int,
+                      config: ChaosConfig = None,
+                      name: str = "") -> FaultSchedule:
+    """Draw a deterministic chaos schedule over ``nodes``.
+
+    ``nodes`` is the node-id population faults may hit (ordering matters
+    for determinism -- pass a sorted list).  Crashes are paired with
+    restarts and partitions with heals unless the draw makes them
+    permanent, so the cluster keeps churning instead of dying.
+    """
+    config = config or ChaosConfig()
+    if not nodes:
+        raise ValueError("chaos needs a non-empty node population")
+    rng = random.Random(seed)
+    population = list(nodes)
+    kinds = [k for k, w in sorted(config.weights.items()) if w > 0]
+    weights = [config.weights[k] for k in kinds]
+    events: List[Fault] = []
+    down: Dict[str, float] = {}  # node -> restart time (inf = permanent)
+    max_down = max(1, int(len(population) * config.max_down_fraction))
+
+    def uniform(bounds) -> float:
+        return rng.uniform(bounds[0], bounds[1])
+
+    for __ in range(max(0, config.events)):
+        when = rng.uniform(config.start, config.horizon)
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == NodeCrash.kind:
+            up = [n for n, until in sorted(down.items()) if until <= when]
+            for node in up:
+                del down[node]
+            candidates = [n for n in population if n not in down]
+            if not candidates or len(down) >= max_down:
+                continue
+            victim = rng.choice(candidates)
+            events.append(NodeCrash(time=when, node=victim))
+            if rng.random() < config.permanent_crash_p:
+                down[victim] = float("inf")
+            else:
+                back = when + uniform(config.outage)
+                events.append(NodeRestart(time=back, node=victim))
+                down[victim] = back
+        elif kind == PartitionCut.kind:
+            minority = max(1, int(len(population) * config.partition_fraction))
+            shuffled = population[:]
+            rng.shuffle(shuffled)
+            side_a = tuple(sorted(shuffled[:minority]))
+            side_b = tuple(sorted(shuffled[minority:]))
+            events.append(PartitionCut(time=when, side_a=side_a, side_b=side_b))
+            events.append(Heal(time=when + uniform(config.partition_duration),
+                               side_a=side_a, side_b=side_b))
+        elif kind == LinkDegrade.kind:
+            src, dst = rng.sample(population, 2)
+            events.append(LinkDegrade(
+                time=when, src=src, dst=dst,
+                drop_p=round(uniform(config.drop_p), 3),
+                latency_mult=round(uniform(config.latency_mult), 3),
+                duration=round(uniform(config.degrade_duration), 3),
+            ))
+        elif kind == CpuStress.kind:
+            events.append(CpuStress(
+                time=when, node=rng.choice(population),
+                hogs=rng.randint(int(config.hogs[0]), int(config.hogs[1])),
+                duration=round(uniform(config.stress_duration), 3),
+            ))
+        elif kind == DiskDegrade.kind:
+            events.append(DiskDegrade(
+                time=when, node=rng.choice(population),
+                bandwidth_factor=round(uniform(config.disk_factor), 3),
+                duration=round(uniform(config.disk_duration), 3),
+            ))
+    schedule = FaultSchedule(events=events, seed=seed,
+                             name=name or f"chaos-{seed}")
+    schedule.events = schedule.sorted_events()
+    return schedule
+
+
+def search_amplifying_schedule(
+    nodes: Sequence[str],
+    evaluate,
+    seeds: Sequence[int],
+    config: ChaosConfig = None,
+    target_ratio: float = 2.0,
+    baseline: float = 0.0,
+):
+    """Try generator seeds until one amplifies the symptom enough.
+
+    ``evaluate(schedule) -> float`` measures the symptom (e.g. flap count)
+    under the schedule; the first schedule reaching ``target_ratio *
+    max(baseline, 1)`` wins.  Returns ``(schedule, value)`` for the best
+    candidate seen even when no candidate reaches the target, so callers
+    can report near-misses.
+    """
+    best = None
+    best_value = float("-inf")
+    floor = target_ratio * max(baseline, 1.0)
+    for seed in seeds:
+        schedule = generate_schedule(nodes, seed, config)
+        value = evaluate(schedule)
+        if value > best_value:
+            best, best_value = schedule, value
+        if value >= floor:
+            break
+    return best, best_value

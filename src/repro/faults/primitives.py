@@ -1,0 +1,164 @@
+"""Fault primitives: the vocabulary of cluster misfortune.
+
+Each primitive is a frozen dataclass with a virtual ``time`` and a stable
+``kind`` tag.  Primitives are pure data -- *what* happens and *when*; the
+:class:`~repro.faults.injector.Injector` decides *how* each one acts on a
+cluster.  Keeping them declarative is what makes schedules serializable,
+diffable, and shrinkable.
+
+Serialization is a plain dict round trip (:meth:`Fault.to_dict` /
+:func:`fault_from_dict`) used by :class:`~repro.faults.schedule.
+FaultSchedule`'s JSON form.  Tuples are restored on load so a round-tripped
+schedule compares equal to the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Dict, Tuple, Type
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base: one fault event at virtual ``time`` seconds."""
+
+    kind: ClassVar[str] = "fault"
+
+    time: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable form (includes the ``kind`` tag)."""
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+    def describe(self) -> str:
+        """One-line human-readable form for logs and CLI output."""
+        params = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self) if f.name != "time"
+        )
+        return f"t={self.time:.2f} {self.kind}({params})"
+
+
+@dataclass(frozen=True)
+class NodeCrash(Fault):
+    """Kill ``node``: its processes stop and all its traffic is dropped."""
+
+    kind: ClassVar[str] = "node-crash"
+
+    node: str = ""
+
+
+@dataclass(frozen=True)
+class NodeRestart(Fault):
+    """Bring ``node`` back with a bumped generation (a new incarnation).
+
+    Peers observe the higher generation through gossip, report the arrival
+    to their phi-accrual failure detectors, and record a recovery -- the
+    flap-and-return churn the paper's section 2 bugs amplify.
+    """
+
+    kind: ClassVar[str] = "node-restart"
+
+    node: str = ""
+
+
+@dataclass(frozen=True)
+class PartitionCut(Fault):
+    """Cut the network between ``side_a`` and ``side_b`` (both directions)."""
+
+    kind: ClassVar[str] = "partition-cut"
+
+    side_a: Tuple[str, ...] = ()
+    side_b: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Heal(Fault):
+    """Heal a partition.
+
+    With both sides given only that cut is removed (overlapping partitions
+    compose); with empty sides every cut is cleared.
+    """
+
+    kind: ClassVar[str] = "heal"
+
+    side_a: Tuple[str, ...] = ()
+    side_b: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LinkDegrade(Fault):
+    """Degrade the ``src -> dst`` link: probabilistic drops + slow delivery.
+
+    ``duration > 0`` restores the link after that many virtual seconds;
+    ``duration == 0`` leaves it degraded until another :class:`LinkDegrade`
+    resets it.  ``symmetric`` degrades both directions.
+    """
+
+    kind: ClassVar[str] = "link-degrade"
+
+    src: str = ""
+    dst: str = ""
+    drop_p: float = 0.0
+    latency_mult: float = 1.0
+    duration: float = 0.0
+    symmetric: bool = True
+
+
+@dataclass(frozen=True)
+class DiskDegrade(Fault):
+    """Throttle ``node``'s disk bandwidth to ``bandwidth_factor`` of normal.
+
+    Restored after ``duration`` virtual seconds (0 = until further notice).
+    Ignored (and counted as skipped) on targets whose nodes have no disk.
+    """
+
+    kind: ClassVar[str] = "disk-degrade"
+
+    node: str = ""
+    bandwidth_factor: float = 0.1
+    duration: float = 0.0
+
+
+@dataclass(frozen=True)
+class CpuStress(Fault):
+    """Run ``hogs`` antagonist tasks on ``node``'s CPU for ``duration``.
+
+    Each hog keeps roughly one extra runnable job on the node's CPU model,
+    contending with protocol work the way a co-tenant compaction or GC
+    storm would.
+    """
+
+    kind: ClassVar[str] = "cpu-stress"
+
+    node: str = ""
+    hogs: int = 1
+    duration: float = 1.0
+
+
+_FAULT_TYPES: Dict[str, Type[Fault]] = {
+    cls.kind: cls
+    for cls in (NodeCrash, NodeRestart, PartitionCut, Heal, LinkDegrade,
+                DiskDegrade, CpuStress)
+}
+
+
+def fault_from_dict(data: Dict[str, Any]) -> Fault:
+    """Inverse of :meth:`Fault.to_dict`; restores tuple-typed fields."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = _FAULT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown fault kind {kind!r}; "
+                         f"known: {', '.join(sorted(_FAULT_TYPES))}")
+    for f in fields(cls):
+        if f.name in payload and isinstance(payload[f.name], list):
+            payload[f.name] = tuple(payload[f.name])
+    return cls(**payload)
+
+
+def fault_kinds() -> Tuple[str, ...]:
+    """All registered fault kind tags, sorted."""
+    return tuple(sorted(_FAULT_TYPES))

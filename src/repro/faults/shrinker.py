@@ -1,0 +1,128 @@
+"""Delta-debugging shrinker for fault schedules.
+
+Given a schedule that provokes a symptom (``predicate(schedule)`` true),
+``shrink`` finds a smaller schedule that still provokes it, using the
+classic ddmin algorithm (Zeller & Hildebrandt, TSE '02) over the event
+list: try dropping complements at increasing granularity, then finish with
+a greedy one-event-at-a-time pass so the result is 1-minimal -- removing
+any single remaining event breaks the symptom.
+
+Predicates are arbitrary callables; for scalability-bug work the natural
+one runs a (short) simulation and checks ``report.flaps >= N``.  Because
+simulations are deterministic, every evaluation of the same candidate
+returns the same verdict, so the shrink itself is reproducible.  A
+``max_evals`` budget bounds the cost when each evaluation is a full
+cluster run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from .schedule import FaultSchedule
+
+Predicate = Callable[[FaultSchedule], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink: the minimized schedule plus accounting."""
+
+    schedule: FaultSchedule
+    original_size: int
+    evaluations: int
+    exhausted_budget: bool = False
+
+    @property
+    def removed(self) -> int:
+        """Events eliminated from the original schedule."""
+        return self.original_size - len(self.schedule)
+
+    def summary(self) -> str:
+        """One-line account for logs and CLI output."""
+        return (f"shrunk {self.original_size} -> {len(self.schedule)} events "
+                f"in {self.evaluations} evaluations"
+                + (" (budget exhausted)" if self.exhausted_budget else ""))
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        """True while budget remains."""
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def shrink(schedule: FaultSchedule, predicate: Predicate,
+           max_evals: int = 200) -> ShrinkResult:
+    """Minimize ``schedule`` while ``predicate`` stays true.
+
+    The input schedule must itself satisfy the predicate; raises
+    ``ValueError`` otherwise (a shrink from a non-failing start silently
+    returning the input is the classic delta-debugging footgun).
+    """
+    if not predicate(schedule):
+        raise ValueError("schedule does not satisfy the predicate; "
+                         "nothing to shrink")
+    budget = _Budget(max_evals)
+    current = list(range(len(schedule.events)))
+
+    def holds(indices: List[int]) -> bool:
+        return predicate(schedule.subset(indices))
+
+    # -- ddmin over complements ------------------------------------------------
+    granularity = 2
+    exhausted = False
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        complements = [
+            current[:start] + current[start + chunk:]
+            for start in range(0, len(current), chunk)
+        ]
+        reduced = False
+        for complement in complements:
+            if len(complement) == len(current):
+                continue
+            if not budget.spend():
+                exhausted = True
+                break
+            if complement and holds(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if exhausted:
+            break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+
+    # -- greedy 1-minimal pass -------------------------------------------------
+    if not exhausted:
+        changed = True
+        while changed and len(current) > 1:
+            changed = False
+            for index in list(current):
+                if not budget.spend():
+                    exhausted = True
+                    break
+                candidate = [i for i in current if i != index]
+                if candidate and holds(candidate):
+                    current = candidate
+                    changed = True
+            if exhausted:
+                break
+
+    return ShrinkResult(
+        schedule=schedule.subset(current),
+        original_size=len(schedule.events),
+        evaluations=budget.used,
+        exhausted_budget=exhausted,
+    )

@@ -150,6 +150,57 @@ class HdfsCluster:
             self._wall_started = _time.perf_counter()
         self.sim.run(until=until)
 
+    # -- fault injection (the repro.faults seam) ----------------------------------
+
+    def crash_node(self, node_id: str) -> bool:
+        """Hard-kill a datanode; the namenode's heartbeat monitor must
+        notice the silence on its own.  Returns False for unknown/dead."""
+        node = self.datanodes.get(node_id)
+        if node is None or not node.running:
+            return False
+        self.network.crash(node_id)
+        node.stop()
+        return True
+
+    def restart_node(self, node_id: str) -> bool:
+        """Re-register a crashed datanode: it re-announces itself and sends
+        a fresh full block report, as a restarted HDFS daemon would."""
+        old = self.datanodes.get(node_id)
+        if old is None:
+            return False
+        if old.running:
+            old.stop()
+        self.network.recover(node_id)
+        node = DataNode(
+            sim=self.sim,
+            node_id=node_id,
+            network=self.network,
+            cpu=old.cpu,
+            disk=old.disk,
+            block_count=0,
+            block_size=self.config.block_size,
+            costs=self.config.dn_costs,
+            heartbeat_interval=self.config.heartbeat_interval,
+            report_interval=self.config.report_interval,
+            store_data=False,  # its data already sits on the same disk
+        )
+        node.blocks = old.blocks
+        self.datanodes[node_id] = node
+        node.start()
+        return True
+
+    def fault_cpu(self, node_id: str):
+        """The CPU chaos antagonists should stress for ``node_id``."""
+        if node_id == "namenode":
+            return self.namenode.cpu
+        node = self.datanodes.get(node_id)
+        return node.cpu if node is not None else None
+
+    def fault_disk(self, node_id: str):
+        """The disk a chaos DiskDegrade should throttle for ``node_id``."""
+        node = self.datanodes.get(node_id)
+        return node.disk if node is not None else None
+
     # -- metrics -----------------------------------------------------------------------
 
     def false_dead_events(self, observe_from: float = 0.0) -> List:
@@ -179,6 +230,11 @@ class HdfsCluster:
                           if r.time >= observe_from],
             messages_sent=self.network.sent,
             messages_delivered=self.network.delivered,
+            messages_dropped=self.network.dropped,
+            dropped_down=self.network.dropped_down,
+            dropped_cut=self.network.dropped_cut,
+            dropped_unknown_dst=self.network.dropped_unknown_dst,
+            dropped_degraded=self.network.dropped_degraded,
             cpu_utilization=cpu.utilization(),
             cpu_peak_utilization=getattr(cpu, "peak_utilization", 0.0),
             mean_stretch=(cpu.mean_stretch()

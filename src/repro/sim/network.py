@@ -139,8 +139,14 @@ class Network:
     """The cluster message fabric.
 
     Nodes register an inbox channel under their node id; ``send`` schedules a
-    delivery after sampled latency.  A :class:`Partition` API supports
-    failure injection (drop all messages crossing a cut).
+    delivery after sampled latency.  Failure injection covers crashed nodes
+    (drop all traffic), partition cuts (drop traffic crossing the cut), and
+    per-link degradation (probabilistic drop plus a latency multiplier) --
+    the hooks the :mod:`repro.faults` injector drives.
+
+    Drops are counted per reason (``dropped_down`` / ``dropped_cut`` /
+    ``dropped_unknown_dst`` / ``dropped_degraded``); ``dropped`` stays
+    available as the total.
     """
 
     def __init__(
@@ -156,10 +162,29 @@ class Network:
         self._seq: Dict[Tuple[str, str, str], int] = defaultdict(int)
         self._down: set = set()
         self._cut_pairs: set = set()
+        self._degraded: Dict[Tuple[str, str], Tuple[float, float]] = {}
         self.sent = 0
         self.delivered = 0
-        self.dropped = 0
+        self.dropped_down = 0
+        self.dropped_cut = 0
+        self.dropped_unknown_dst = 0
+        self.dropped_degraded = 0
         self.delivery_log: List[str] = []
+
+    @property
+    def dropped(self) -> int:
+        """Total messages dropped, all reasons combined."""
+        return (self.dropped_down + self.dropped_cut
+                + self.dropped_unknown_dst + self.dropped_degraded)
+
+    def drop_reasons(self) -> Dict[str, int]:
+        """Per-reason drop counters (for reports)."""
+        return {
+            "down": self.dropped_down,
+            "cut": self.dropped_cut,
+            "unknown_dst": self.dropped_unknown_dst,
+            "degraded": self.dropped_degraded,
+        }
 
     # -- membership ----------------------------------------------------------
 
@@ -194,32 +219,84 @@ class Network:
                 self._cut_pairs.add((a, b))
                 self._cut_pairs.add((b, a))
 
-    def heal(self) -> None:
-        """Remove all partition cuts."""
-        self._cut_pairs.clear()
+    def heal(self, side_a: Optional[List[str]] = None,
+             side_b: Optional[List[str]] = None) -> None:
+        """Remove partition cuts.
+
+        With no arguments every cut is cleared (the historical behaviour).
+        With both sides given, only the cuts between those sides are removed,
+        so overlapping partitions compose correctly: healing one cut leaves
+        the others in force.
+        """
+        if side_a is None and side_b is None:
+            self._cut_pairs.clear()
+            return
+        if side_a is None or side_b is None:
+            raise ValueError("selective heal needs both sides")
+        for a in side_a:
+            for b in side_b:
+                self._cut_pairs.discard((a, b))
+                self._cut_pairs.discard((b, a))
+
+    def degrade(self, src: str, dst: str, drop_p: float,
+                latency_mult: float = 1.0) -> None:
+        """Degrade the directed link ``src -> dst``.
+
+        Messages on the link are dropped with probability ``drop_p`` (drawn
+        from the deterministic ``net-degrade`` stream) and surviving
+        deliveries take ``latency_mult`` times the sampled latency.  Passing
+        ``drop_p=0`` and ``latency_mult=1`` restores the link.
+        """
+        if not 0.0 <= drop_p <= 1.0:
+            raise ValueError(f"drop probability out of range: {drop_p}")
+        if latency_mult <= 0.0:
+            raise ValueError(f"latency multiplier must be positive: {latency_mult}")
+        if drop_p == 0.0 and latency_mult == 1.0:
+            self._degraded.pop((src, dst), None)
+        else:
+            self._degraded[(src, dst)] = (drop_p, latency_mult)
+
+    def degraded_links(self) -> Dict[Tuple[str, str], Tuple[float, float]]:
+        """Currently degraded links: ``(src, dst) -> (drop_p, latency_mult)``."""
+        return dict(self._degraded)
 
     # -- sending --------------------------------------------------------------
 
     def send(self, src: str, dst: str, kind: str, payload: Any) -> Optional[Message]:
         """Send a message; returns the message or None if dropped."""
         self.sent += 1
-        if (src in self._down or dst in self._down
-                or (src, dst) in self._cut_pairs or dst not in self._inboxes):
-            self.dropped += 1
+        if src in self._down or dst in self._down:
+            self.dropped_down += 1
             return None
+        if (src, dst) in self._cut_pairs:
+            self.dropped_cut += 1
+            return None
+        if dst not in self._inboxes:
+            self.dropped_unknown_dst += 1
+            return None
+        latency_mult = 1.0
+        degraded = self._degraded.get((src, dst))
+        if degraded is not None:
+            drop_p, latency_mult = degraded
+            if drop_p > 0.0 and self.sim.rng.random("net-degrade") < drop_p:
+                self.dropped_degraded += 1
+                return None
         triple = (src, dst, kind)
         self._seq[triple] += 1
         key = f"{src}>{dst}:{kind}#{self._seq[triple]}"
         message = Message(src=src, dst=dst, kind=kind, payload=payload,
                           send_time=self.sim.now, key=key)
-        delay = self.latency.sample(self.sim, src, dst)
+        delay = self.latency.sample(self.sim, src, dst) * latency_mult
         self.sim.schedule(delay, lambda: self._arrive(message),
                           tag=f"net:{key}")
         return message
 
     def _arrive(self, message: Message) -> None:
-        if message.dst in self._down or message.dst not in self._inboxes:
-            self.dropped += 1
+        if message.dst in self._down:
+            self.dropped_down += 1
+            return
+        if message.dst not in self._inboxes:
+            self.dropped_unknown_dst += 1
             return
         if self.enforcer is not None:
             self.enforcer.offer(message, self._deliver)
@@ -229,7 +306,7 @@ class Network:
     def _deliver(self, message: Message) -> None:
         inbox = self._inboxes.get(message.dst)
         if inbox is None:
-            self.dropped += 1
+            self.dropped_unknown_dst += 1
             return
         self.delivered += 1
         self.delivery_log.append(message.key)

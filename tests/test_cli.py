@@ -77,6 +77,50 @@ def test_figure3_with_tiny_scales(capsys):
     assert "real" in out and "pil" in out
 
 
+def test_chaos_help_lists_knobs(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["chaos", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--min-flap-ratio", "--save-schedule", "--load-schedule",
+                 "--no-shrink", "--no-pil", "--tries"):
+        assert flag in out
+
+
+def test_chaos_end_to_end_with_loaded_schedule(tmp_path, capsys):
+    from repro.faults import FaultSchedule, NodeCrash, NodeRestart
+
+    plan = tmp_path / "plan.json"
+    out_plan = tmp_path / "final.json"
+    FaultSchedule(events=[
+        NodeCrash(time=5.0, node="node-003"),
+        NodeRestart(time=40.0, node="node-003"),
+    ], name="crash-one").save(plan)
+    code, out = run_cli(
+        capsys, "chaos", "--bug", "c3831-fixed", "--nodes", "6",
+        "--seed", "42", "--warmup", "10", "--observe", "40",
+        "--load-schedule", str(plan), "--no-shrink",
+        "--min-flap-ratio", "1",
+        "--save-schedule", str(out_plan))
+    assert code == 0
+    assert "baseline (no faults):" in out
+    assert "chaos run:" in out
+    assert "SC+PIL replay" in out
+    assert FaultSchedule.load(out_plan).name == "crash-one"
+
+
+def test_chaos_generates_and_shrinks(capsys):
+    code, out = run_cli(
+        capsys, "chaos", "--bug", "c3831-fixed", "--nodes", "6",
+        "--seed", "42", "--warmup", "5", "--observe", "35",
+        "--tries", "3", "--events", "4", "--min-flap-ratio", "1",
+        "--max-evals", "8", "--no-pil")
+    assert "generator seed" in out
+    assert code in (0, 1)  # 1 = no amplifying schedule within --tries
+    if code == 0:
+        assert "shrunk" in out
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["warp-speed"])
