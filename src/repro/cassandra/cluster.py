@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 from ..sim.cpu import CpuModel, DedicatedCpu, SharedCpu
 from ..sim.kernel import Simulator
 from ..sim.memory import GB, MachineMemory, NodeMemoryProfile, OutOfMemoryError, single_process_profile
+from ..obs.doctor import stage_lateness
 from ..sim.network import LatencyModel, Network, OrderEnforcer
 from .bugs import BugConfig, get_bug
 from .gossip import GossipConfig
@@ -108,9 +109,12 @@ class Cluster:
         config: ClusterConfig,
         executor: Optional[CalcExecutor] = None,
         order_enforcer: Optional[OrderEnforcer] = None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.sim = Simulator(seed=config.seed)
+        self.sim.tracer = tracer
+        self.tracer = tracer
         self.network = Network(self.sim, latency=config.latency,
                                enforcer=order_enforcer)
         self.flaps = FlapCounter()
@@ -357,6 +361,8 @@ class Cluster:
                           if self._wall_started else 0.0),
             memo_hits=int(memo_stats.get("hits", 0)),
             memo_misses=int(memo_stats.get("misses", 0)),
+            memo_conflicts=int(memo_stats.get("conflicts", 0)),
+            stage_lateness=stage_lateness(self),
         )
         if self.op_started_at is not None:
             # Protocol completion time: the DES analogue of the paper's

@@ -146,3 +146,15 @@ class PhiAccrualFailureDetector:
         """Mean heartbeat inter-arrival for ``endpoint`` (NaN if unknown)."""
         window = self._windows.get(endpoint)
         return window.mean() if window else float("nan")
+
+    def phis(self, now: float) -> Dict[str, float]:
+        """Suspicion levels for every known endpoint at ``now``.
+
+        A read-only snapshot for observability: unlike :meth:`phi` it does
+        not touch ``stats.max_phi_seen``, so sampling a run for metrics
+        cannot perturb what the run itself would have recorded.
+        """
+        return {
+            endpoint: window.phi(now)
+            for endpoint, window in self._windows.items()
+        }

@@ -313,3 +313,15 @@ class Gossiper:
     def live_count(self) -> int:
         """Number of peers currently believed alive."""
         return len(self.live_endpoints)
+
+    def stats(self) -> Dict[str, float]:
+        """Protocol counters in one dict (for the metrics collector)."""
+        return {
+            "rounds": self.rounds,
+            "states_applied": self.states_applied,
+            "live": len(self.live_endpoints),
+            "unreachable": len(self.unreachable_endpoints),
+            "fd_reports": self.fd.stats.reports,
+            "fd_convictions": self.fd.stats.convictions,
+            "fd_max_phi": self.fd.stats.max_phi_seen,
+        }

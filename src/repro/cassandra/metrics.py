@@ -108,6 +108,12 @@ class RunReport:
     wall_seconds: float = 0.0     # host wall-clock cost of the run
     memo_hits: int = 0
     memo_misses: int = 0
+    #: PIL-safety violations: same (func_id, input_key), different output.
+    memo_conflicts: int = 0
+    #: Per-stage attributed lateness (seconds of waiting), filled by the
+    #: scale-doctor (:func:`repro.obs.doctor.stage_lateness`) -- lets
+    #: ``compare_modes`` attribute mode divergence to a specific stage.
+    stage_lateness: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
     def calc_duration_range(self) -> Tuple[float, float]:

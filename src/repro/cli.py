@@ -6,6 +6,8 @@ Commands map one-to-one onto the library's main entry points:
                     print the Real / Colo / SC+PIL comparison;
 * ``chaos``      -- search for (and shrink) a fault schedule that amplifies
                     a bug's symptom, then verify the PIL replay under it;
+* ``doctor``     -- run one scenario under the span tracer and print the
+                    scale-doctor's ranked bottleneck report;
 * ``finder``     -- run the offending-function finder over the calculation
                     corpus (or any importable module) and print the report;
 * ``figure3``    -- regenerate one Figure 3 panel (flaps vs scale);
@@ -30,6 +32,7 @@ from .cassandra.bugs import all_bugs
 from .cassandra.cluster import node_name
 from .core.finder import Finder
 from .core.report import (
+    render_divergence,
     render_finder_report,
     render_memo_summary,
     render_mode_comparison,
@@ -136,6 +139,44 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if chaos_flaps >= target else 1
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from .cassandra.cluster import Cluster, Mode
+    from .cassandra.workloads import run_workload
+    from .faults.injector import install_faults
+    from .obs import SpanTracer, diagnose
+
+    check = _chaos_scale_check(args)
+    config = check.config(Mode(args.mode))
+    if args.vnodes is not None:
+        config.bug = dataclasses.replace(config.bug, vnodes=args.vnodes)
+    if args.machine_cores is not None:
+        config.machine.cores = args.machine_cores
+    schedule = None
+    if args.load_schedule:
+        schedule = FaultSchedule.load(args.load_schedule)
+        print(f"loaded {len(schedule)}-event schedule "
+              f"{schedule.name!r} from {args.load_schedule}")
+    tracer = None if args.no_trace else SpanTracer(max_spans=args.max_spans)
+    cluster = Cluster(config, tracer=tracer)
+    install_faults(cluster, schedule)
+    print(f"doctoring {args.bug} at {args.nodes} nodes "
+          f"(mode {args.mode}, P={config.bug.vnodes}, seed {args.seed})...")
+    report = run_workload(cluster, config.bug.workload, check.params)
+    print()
+    print(diagnose(cluster, tracer=tracer).render())
+    print()
+    print(report.summary())
+    if tracer is not None and args.trace_out:
+        written = tracer.to_jsonl(args.trace_out)
+        print(f"{written} spans written to {args.trace_out} "
+              f"({tracer.dropped_spans} dropped over budget)")
+    if args.divergence:
+        print("\nrunning real + colo + PIL for divergence attribution...")
+        reports = check.compare_modes(faults=schedule)
+        print(render_divergence(reports))
+    return 0
+
+
 def _cmd_finder(args: argparse.Namespace) -> int:
     if args.module:
         module = importlib.import_module(args.module)
@@ -224,6 +265,32 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--load-schedule", default=None,
                        help="enact a saved schedule instead of generating")
     chaos.set_defaults(func=_cmd_chaos)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="rank a run's scalability bottlenecks (the scale-doctor)")
+    doctor.add_argument("--bug", default="c6127")
+    doctor.add_argument("--nodes", type=int, default=24)
+    doctor.add_argument("--seed", type=int, default=42)
+    doctor.add_argument("--mode", default="colo", choices=["real", "colo"])
+    doctor.add_argument("--vnodes", type=int, default=None,
+                        help="override the bug's vnode count (affordability)")
+    doctor.add_argument("--machine-cores", type=int, default=None,
+                        help="override the colocation host's core count")
+    doctor.add_argument("--warmup", type=float, default=None)
+    doctor.add_argument("--observe", type=float, default=None)
+    doctor.add_argument("--load-schedule", default=None,
+                        help="enact a saved fault schedule during the run")
+    doctor.add_argument("--no-trace", action="store_true",
+                        help="skip span tracing (stats-only diagnosis)")
+    doctor.add_argument("--max-spans", type=int, default=1_000_000,
+                        help="span memory budget for the tracer")
+    doctor.add_argument("--trace-out", default=None,
+                        help="write the span trace to this JSON-lines file")
+    doctor.add_argument("--divergence", action="store_true",
+                        help="also run real+colo+PIL and attribute the "
+                             "mode divergence to a stage")
+    doctor.set_defaults(func=_cmd_doctor)
 
     finder = sub.add_parser("finder", help="run the offending-function finder")
     finder.add_argument("--module", default=None,

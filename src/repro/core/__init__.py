@@ -36,7 +36,7 @@ from .finder import (
     find_offending,
 )
 from .instrument import InstrumentationError, Instrumenter
-from .memoization import MemoDB, MemoRecord
+from .memoization import MemoDB, MemoRecord, PilViolationError
 from .pil import (
     CALC_FUNC_ID,
     MemoizingExecutor,
@@ -48,6 +48,7 @@ from .pilfunc import PilFunction, default_input_key, pil_wrap
 from .probes import ProbeLogEntry, ProbeSet
 from .replayer import ReplayHarness, ReplayResult
 from .report import (
+    render_divergence,
     render_finder_report,
     render_memo_summary,
     render_mode_comparison,
@@ -76,6 +77,7 @@ __all__ = [
     "NodeFootprint",
     "PilFunction",
     "PilReplayExecutor",
+    "PilViolationError",
     "ProbeLogEntry",
     "ProbeSet",
     "ReplayHarness",
@@ -96,6 +98,7 @@ __all__ = [
     "per_process_footprint",
     "pil_wrap",
     "probe_colocation_sim",
+    "render_divergence",
     "render_finder_report",
     "render_memo_summary",
     "render_mode_comparison",

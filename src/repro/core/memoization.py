@@ -36,15 +36,37 @@ class MemoRecord:
         return (self.func_id, self.input_key)
 
 
-class MemoDB:
-    """Input-keyed store of memo records plus the recorded message order."""
+class PilViolationError(ValueError):
+    """A PIL-replaced function returned different outputs for one input.
 
-    def __init__(self) -> None:
+    The processing illusion is only safe for *input-deterministic*
+    functions (the paper's PIL-safety rule): substituting a recorded
+    output is wrong if the live function could have produced another one.
+    """
+
+
+class MemoDB:
+    """Input-keyed store of memo records plus the recorded message order.
+
+    ``strict=True`` raises :class:`PilViolationError` the moment a repeat
+    invocation disagrees with the recorded output; the default keeps the
+    historical first-write-wins behaviour but counts every disagreement in
+    ``conflicts`` / ``conflict_keys`` so violations are visible instead of
+    silently masked.
+    """
+
+    #: Cap on remembered conflicting keys (diagnostics, not a full log).
+    MAX_CONFLICT_KEYS = 32
+
+    def __init__(self, strict: bool = False) -> None:
         self._records: Dict[Tuple[str, str], MemoRecord] = {}
         self.message_order: List[str] = []
         self.meta: Dict[str, Any] = {}
         self.lookups = 0
         self.hits = 0
+        self.strict = strict
+        self.conflicts = 0
+        self.conflict_keys: List[Tuple[str, str]] = []
 
     # -- recording ----------------------------------------------------------------
 
@@ -62,7 +84,8 @@ class MemoDB:
         First write wins for output (outputs for a given input are identical
         by the PIL-safety rule); durations of repeat observations are folded
         into a running mean, which smooths measurement noise exactly the way
-        repeated in-situ samples would.
+        repeated in-situ samples would.  A repeat whose output *disagrees*
+        is a PIL-safety violation: counted always, fatal when ``strict``.
         """
         key = (func_id, input_key)
         existing = self._records.get(key)
@@ -73,6 +96,16 @@ class MemoDB:
             )
             self._records[key] = record
             return record
+        if output != existing.output:
+            self.conflicts += 1
+            if len(self.conflict_keys) < self.MAX_CONFLICT_KEYS:
+                self.conflict_keys.append(key)
+            if self.strict:
+                raise PilViolationError(
+                    f"PIL-safety violation: {func_id}({input_key!r}) "
+                    f"returned {output!r}, previously {existing.output!r} "
+                    f"(recorded by {existing.node_id or '?'})"
+                )
         total = existing.duration * existing.samples + duration
         existing.samples += 1
         existing.duration = total / existing.samples

@@ -70,7 +70,11 @@ class MemoizingExecutor(CalcExecutor):
 
     def stats(self) -> Dict[str, float]:
         """Executor statistics for reports."""
-        return {"recorded": self.recorded, "distinct": len(self.db)}
+        return {
+            "recorded": self.recorded,
+            "distinct": len(self.db),
+            "conflicts": getattr(self.db, "conflicts", 0),
+        }
 
 
 class MissPolicy(str, Enum):

@@ -54,6 +54,7 @@ class ReplayHarness:
         enforce_order: bool = False,
         watchdog_interval: float = 1.0,
         faults: Optional[FaultSchedule] = None,
+        tracer=None,
     ) -> None:
         if config.mode is not Mode.PIL:
             raise ValueError("replay requires a PIL-mode cluster config")
@@ -64,6 +65,7 @@ class ReplayHarness:
         self.enforce_order = enforce_order
         self.watchdog_interval = watchdog_interval
         self.faults = faults
+        self.tracer = tracer
 
     def _watchdog(self, sim: Simulator, enforcer: OrderEnforcer):
         """Skip past recorded-but-missing messages when replay stalls.
@@ -82,7 +84,8 @@ class ReplayHarness:
     def replay(self) -> ReplayResult:
         """Run one PIL-infused replay and return the result."""
         enforcer = OrderEnforcer(self.db.message_order) if self.enforce_order else None
-        cluster = Cluster(self.config, order_enforcer=enforcer)
+        cluster = Cluster(self.config, order_enforcer=enforcer,
+                          tracer=self.tracer)
         executor = PilReplayExecutor(self.db, cluster.sim,
                                      miss_policy=self.miss_policy)
         cluster.executor = executor

@@ -93,8 +93,40 @@ def render_memo_summary(db: MemoDB) -> str:
         f"recorded durations: {low:.4f}s .. {high:.4f}s",
         f"message order: {len(db.message_order)} deliveries recorded",
     ]
+    conflicts = getattr(db, "conflicts", 0)
+    if conflicts:
+        lines.append(
+            f"WARNING: {conflicts} PIL-safety conflicts (same input, "
+            f"different output) -- replay outputs are unreliable"
+        )
     for key, value in sorted(db.meta.items()):
         lines.append(f"meta {key}: {value}")
+    return "\n".join(lines)
+
+
+def render_divergence(reports: Dict[str, RunReport]) -> str:
+    """Mode-divergence attribution: which stage explains colo/PIL error.
+
+    Consumes the ``stage_lateness`` each report carries; for every non-real
+    mode the stage with the largest lateness excess over the real run is
+    named, alongside the flap error it presumably caused.
+    """
+    from ..obs.doctor import attribute_divergence
+
+    real = reports["real"]
+    attribution = attribute_divergence(reports)
+    lines = [f"divergence vs real ({real.flaps} flaps):"]
+    for mode in ("colo", "pil"):
+        if mode not in reports:
+            continue
+        report = reports[mode]
+        info = attribution.get(mode, {})
+        stage = info.get("stage") or "(no excess lateness)"
+        lines.append(
+            f"  {mode:>4}: {report.flaps} flaps "
+            f"(err {accuracy_error(real, report):.0%}) <- {stage} "
+            f"(+{info.get('excess_lateness', 0.0):.2f}s lateness vs real)"
+        )
     return "\n".join(lines)
 
 

@@ -104,15 +104,17 @@ class ScaleCheck:
 
     # -- baselines ----------------------------------------------------------------------
 
-    def run_real(self, faults: Optional[FaultSchedule] = None) -> RunReport:
+    def run_real(self, faults: Optional[FaultSchedule] = None,
+                 tracer=None) -> RunReport:
         """Real-scale testing: every node on its own (simulated) machine."""
-        cluster = Cluster(self.config(Mode.REAL))
+        cluster = Cluster(self.config(Mode.REAL), tracer=tracer)
         install_faults(cluster, faults)
         return run_workload(cluster, self.bug.workload, self.params)
 
-    def run_colo(self, faults: Optional[FaultSchedule] = None) -> RunReport:
+    def run_colo(self, faults: Optional[FaultSchedule] = None,
+                 tracer=None) -> RunReport:
         """Basic colocation: all nodes contend on one machine, no PIL."""
-        cluster = Cluster(self.config(Mode.COLO))
+        cluster = Cluster(self.config(Mode.COLO), tracer=tracer)
         install_faults(cluster, faults)
         return run_workload(cluster, self.bug.workload, self.params)
 
@@ -206,3 +208,15 @@ class ScaleCheck:
             "colo_error": accuracy_error(reports["real"], reports["colo"]),
             "pil_error": accuracy_error(reports["real"], reports["pil"]),
         }
+
+    @staticmethod
+    def divergence(reports: Dict[str, RunReport]) -> Dict[str, Dict]:
+        """Attribute each mode's divergence from the real run to a stage.
+
+        Uses the per-stage lateness every :class:`RunReport` now carries
+        (:func:`repro.obs.doctor.attribute_divergence`): the stage whose
+        lateness exceeds the real run's the most is named as the cause of
+        the mode's distorted symptom counts.
+        """
+        from ..obs.doctor import attribute_divergence
+        return attribute_divergence(reports)

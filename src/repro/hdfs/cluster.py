@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 from ..cassandra.cluster import MachineSpec, Mode
 from ..cassandra.metrics import CalcRecord, FlapCounter, RunReport
 from ..cassandra.node import CalcExecutor
+from ..obs.doctor import stage_lateness
 from ..sim.cpu import DedicatedCpu, SharedCpu
 from ..sim.disk import DataEmulationPolicy, Disk
 from ..sim.kernel import Simulator
@@ -59,9 +60,12 @@ class HdfsCluster:
     """A namenode plus N datanodes under one execution mode."""
 
     def __init__(self, config: HdfsConfig,
-                 executor: Optional[CalcExecutor] = None) -> None:
+                 executor: Optional[CalcExecutor] = None,
+                 tracer=None) -> None:
         self.config = config
         self.sim = Simulator(seed=config.seed)
+        self.sim.tracer = tracer
+        self.tracer = tracer
         self.network = Network(self.sim, latency=LatencyModel())
         self.flaps = FlapCounter()
         self.calc_records: List[CalcRecord] = []
@@ -249,6 +253,8 @@ class HdfsCluster:
         memo_stats = getattr(self.namenode.executor, "stats", lambda: {})()
         report.memo_hits = int(memo_stats.get("hits", 0))
         report.memo_misses = int(memo_stats.get("misses", 0))
+        report.memo_conflicts = int(memo_stats.get("conflicts", 0))
+        report.stage_lateness = stage_lateness(self)
         report.extra["reports_processed"] = float(
             self.namenode.reports_processed)
         report.extra["total_blocks"] = float(self.namenode.total_blocks())

@@ -1,0 +1,62 @@
+"""repro.obs -- the unified observability subsystem.
+
+Four pieces, layered bottom-up:
+
+* :mod:`repro.obs.registry` -- counters/gauges/histograms with labelled
+  names and diffable virtual-time snapshots;
+* :mod:`repro.obs.tracer` -- structured virtual-time spans (queue waits,
+  lock waits/holds, compute, network deliveries) behind a
+  zero-cost-when-disabled simulator flag, exportable as JSON lines;
+* :mod:`repro.obs.collect` -- mirrors the existing ad-hoc cluster stats
+  into a registry per sampling window;
+* :mod:`repro.obs.doctor` -- the scale-doctor: a ranked bottleneck report
+  (event lateness per stage, lock convoying, CPU contention -- the paper's
+  section 8 colocation limits, measured on every run) plus mode-divergence
+  attribution for ``ScaleCheck.compare_modes``.
+"""
+
+from .collect import ClusterCollector
+from .doctor import (
+    Bottleneck,
+    DoctorReport,
+    attribute_divergence,
+    diagnose,
+    stage_lateness,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .tracer import (
+    CAT_COMPUTE,
+    CAT_LOCK_HOLD,
+    CAT_LOCK_WAIT,
+    CAT_NET,
+    CAT_QUEUE,
+    Span,
+    SpanTracer,
+)
+
+__all__ = [
+    "Bottleneck",
+    "CAT_COMPUTE",
+    "CAT_LOCK_HOLD",
+    "CAT_LOCK_WAIT",
+    "CAT_NET",
+    "CAT_QUEUE",
+    "ClusterCollector",
+    "Counter",
+    "DoctorReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "SpanTracer",
+    "attribute_divergence",
+    "diagnose",
+    "stage_lateness",
+]

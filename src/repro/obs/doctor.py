@@ -1,0 +1,284 @@
+"""The scale-doctor: ranked where-did-the-time-go analysis for a run.
+
+The paper's section 8 enumerates the colocation limits a single-machine
+scale test hits -- event lateness from saturated stage queues, lock
+convoying, CPU contention/context switching -- but the seed repro could
+only report raw maxima.  The doctor turns a finished run into a *ranked
+bottleneck report*: each candidate stage is charged the total virtual
+seconds of waiting it caused, and the report attributes the run's observed
+event lateness to stages by share.
+
+Everything is duck-typed over the two cluster families (the Cassandra-model
+:class:`~repro.cassandra.cluster.Cluster` and the
+:class:`~repro.hdfs.cluster.HdfsCluster`), the same convention the fault
+injector uses, so a third target system gets doctoring for free by exposing
+``nodes``/``network`` and per-node ``inbox``/locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# Stage identities (Cassandra model).
+GOSSIP_STAGE_QUEUE = "gossip-stage-queue"
+CALC_STAGE_QUEUE = "calc-stage-queue"
+RING_LOCK = "ring-lock"
+CPU_CONTENTION = "cpu-contention"
+# Stage identities (HDFS model).
+NAMENODE_QUEUE = "namenode-queue"
+FSN_LOCK = "fsn-lock"
+
+#: Section 8 taxonomy hint per stage kind.
+_HINTS = {
+    GOSSIP_STAGE_QUEUE: ("event lateness: the single-threaded gossip stage "
+                         "is saturated; queued heartbeats apply late and "
+                         "phi climbs cluster-wide (paper section 8, L2)"),
+    CALC_STAGE_QUEUE: ("event lateness: pending-range requests queue behind "
+                       "long calculations on the calc stage"),
+    RING_LOCK: ("lock convoying: the coarse ring lock serializes gossip "
+                "application behind the calculation (CASSANDRA-5456)"),
+    CPU_CONTENTION: ("CPU contention: colocated nodes stretch each other's "
+                     "compute; thousands of runnable tasks cause context "
+                     "switching (paper section 6/8, L1)"),
+    NAMENODE_QUEUE: ("event lateness: block reports and heartbeats queue "
+                     "behind the namenode's message stage"),
+    FSN_LOCK: ("lock convoying: the namesystem global lock serializes "
+               "block-report processing (HDFS analogue of 5456)"),
+}
+
+
+@dataclass
+class Bottleneck:
+    """One ranked entry of a doctor report."""
+
+    stage: str
+    lateness: float              # virtual seconds of waiting attributed
+    share: float                 # fraction of the run's total lateness
+    evidence: Dict[str, float] = field(default_factory=dict)
+    hint: str = ""
+
+    def describe(self) -> str:
+        """One rendered report line."""
+        details = ", ".join(
+            f"{key}={value:.3g}" for key, value in sorted(self.evidence.items())
+        )
+        return (f"{self.stage:<20} {self.lateness:>10.2f}s {self.share:>6.1%}"
+                + (f"  [{details}]" if details else ""))
+
+
+@dataclass
+class DoctorReport:
+    """Ranked bottleneck attribution for one finished run."""
+
+    mode: str
+    nodes: int
+    duration: float
+    bottlenecks: List[Bottleneck]    # sorted by lateness, descending
+    total_lateness: float
+
+    def top(self) -> Optional[Bottleneck]:
+        """The highest-ranked bottleneck, if any lateness was observed."""
+        return self.bottlenecks[0] if self.bottlenecks else None
+
+    def share_of(self, stage: str) -> float:
+        """Lateness share attributed to ``stage`` (0.0 when absent)."""
+        for bottleneck in self.bottlenecks:
+            if bottleneck.stage == stage:
+                return bottleneck.share
+        return 0.0
+
+    def render(self) -> str:
+        """Human-readable ranked report."""
+        header = (f"scale-doctor report: N={self.nodes} mode={self.mode}, "
+                  f"{self.duration:.1f} virtual s")
+        lines = [header, "=" * len(header),
+                 f"total attributable lateness: {self.total_lateness:.2f} "
+                 f"virtual seconds of waiting"]
+        if not self.bottlenecks:
+            lines.append("no lateness observed -- the run was not contended")
+            return "\n".join(lines)
+        for rank, bottleneck in enumerate(self.bottlenecks, start=1):
+            lines.append(f"{rank:>3}. {bottleneck.describe()}")
+        top = self.top()
+        if top is not None and top.hint:
+            lines.append("")
+            lines.append(f"diagnosis: {top.hint}")
+        return "\n".join(lines)
+
+
+# -- lateness accounting ------------------------------------------------------
+
+
+def _distinct_cpus(cluster) -> List:
+    cpus, seen = [], set()
+    candidates = []
+    nodes = getattr(cluster, "nodes", None)
+    if isinstance(nodes, dict):
+        candidates.extend(node.cpu for node in nodes.values())
+    namenode = getattr(cluster, "namenode", None)
+    if namenode is not None:
+        candidates.append(namenode.cpu)
+        candidates.extend(
+            dn.cpu for dn in getattr(cluster, "datanodes", {}).values())
+    for cpu in candidates:
+        if id(cpu) not in seen:
+            seen.add(id(cpu))
+            cpus.append(cpu)
+    return cpus
+
+
+def _queue_component(stage: str, channels, duration: float) -> Bottleneck:
+    lateness = sum(ch.total_wait for ch in channels)
+    end_depth = sum(len(ch) for ch in channels)
+    return Bottleneck(
+        stage=stage, lateness=lateness, share=0.0,
+        evidence={
+            "max_wait": max((ch.max_wait for ch in channels), default=0.0),
+            "peak_depth": max((ch.max_depth for ch in channels), default=0),
+            "end_depth": end_depth,
+            "growth_per_s": end_depth / duration if duration > 0 else 0.0,
+            "enqueued": sum(ch.total_enqueued for ch in channels),
+        },
+        hint=_HINTS.get(stage, ""),
+    )
+
+
+def _lock_component(stage: str, locks) -> Bottleneck:
+    return Bottleneck(
+        stage=stage, lateness=sum(lk.total_wait for lk in locks), share=0.0,
+        evidence={
+            "max_hold": max((lk.max_hold for lk in locks), default=0.0),
+            "max_wait": max((lk.max_wait for lk in locks), default=0.0),
+            "contended": sum(lk.contended_acquires for lk in locks),
+            "forced_releases": sum(getattr(lk, "forced_releases", 0)
+                                   for lk in locks),
+        },
+        hint=_HINTS.get(stage, ""),
+    )
+
+
+def _cpu_component(cluster) -> Bottleneck:
+    cpus = _distinct_cpus(cluster)
+    lateness = sum(getattr(cpu, "contention_seconds", 0.0) for cpu in cpus)
+    return Bottleneck(
+        stage=CPU_CONTENTION, lateness=lateness, share=0.0,
+        evidence={
+            "peak_util": max((getattr(cpu, "peak_utilization", 0.0)
+                              for cpu in cpus), default=0.0),
+            "peak_jobs": max((getattr(cpu, "peak_jobs", 0)
+                              for cpu in cpus), default=0),
+            "mean_stretch": max(
+                (cpu.mean_stretch() for cpu in cpus
+                 if getattr(cpu, "completed_jobs", 0) > 0
+                 and hasattr(cpu, "mean_stretch")),
+                default=1.0),
+        },
+        hint=_HINTS[CPU_CONTENTION],
+    )
+
+
+def _components(cluster) -> List[Bottleneck]:
+    duration = cluster.sim.now
+    components: List[Bottleneck] = []
+    namenode = getattr(cluster, "namenode", None)
+    if namenode is not None:  # the HDFS family
+        components.append(
+            _queue_component(NAMENODE_QUEUE, [namenode.inbox], duration))
+        components.append(_lock_component(FSN_LOCK, [namenode.fsn_lock]))
+    else:  # the Cassandra family
+        nodes = list(cluster.nodes.values())
+        components.append(_queue_component(
+            GOSSIP_STAGE_QUEUE, [n.inbox for n in nodes], duration))
+        components.append(_queue_component(
+            CALC_STAGE_QUEUE, [n.calc_queue for n in nodes], duration))
+        components.append(_lock_component(
+            RING_LOCK, [n.ring_lock for n in nodes]))
+    components.append(_cpu_component(cluster))
+    return components
+
+
+def stage_lateness(cluster) -> Dict[str, float]:
+    """Per-stage attributed lateness (seconds) -- the RunReport payload."""
+    return {c.stage: c.lateness for c in _components(cluster)}
+
+
+def diagnose(cluster, tracer=None) -> DoctorReport:
+    """Analyze a finished cluster run into a ranked bottleneck report.
+
+    ``tracer`` optionally supplies a :class:`~repro.obs.tracer.SpanTracer`
+    whose per-resource span sums are folded into the evidence (the
+    worst single queue/lock is named, not just the aggregate).
+    """
+    components = _components(cluster)
+    total = sum(c.lateness for c in components)
+    for component in components:
+        component.share = component.lateness / total if total > 0 else 0.0
+    if tracer is not None and len(tracer):
+        # (span category, resource-name prefix) per stage; the prefixes
+        # come from the kernel resource names ("inbox:node-007" etc.).
+        span_sources = {
+            GOSSIP_STAGE_QUEUE: ("queue", "inbox:"),
+            CALC_STAGE_QUEUE: ("queue", "calcq:"),
+            RING_LOCK: ("lock-wait", "ring:"),
+            NAMENODE_QUEUE: ("queue", "inbox:"),
+            FSN_LOCK: ("lock-wait", "fsn-lock"),
+        }
+        for component in components:
+            source = span_sources.get(component.stage)
+            if source is None:
+                continue
+            category, prefix = source
+            per_name = {
+                name: total
+                for name, total in tracer.durations_by_name(category).items()
+                if name.startswith(prefix)
+            }
+            if per_name:
+                worst = max(per_name, key=per_name.get)
+                component.evidence[f"worst:{worst}"] = per_name[worst]
+    components.sort(key=lambda c: c.lateness, reverse=True)
+    config = getattr(cluster, "config", None)
+    mode = getattr(getattr(config, "mode", None), "value", "?")
+    nodes = getattr(config, "nodes", None)
+    if nodes is None:
+        nodes = getattr(config, "datanodes", 0)
+    return DoctorReport(
+        mode=mode, nodes=nodes, duration=cluster.sim.now,
+        bottlenecks=components, total_lateness=total,
+    )
+
+
+# -- mode-divergence attribution ---------------------------------------------
+
+
+def attribute_divergence(reports: Dict[str, "object"]) -> Dict[str, Dict]:
+    """Attribute colo/PIL divergence from the real run to a specific stage.
+
+    ``reports`` is the :meth:`ScaleCheck.compare_modes` dict ("real",
+    "colo", "pil" -> RunReport).  For each non-real mode the stage with the
+    largest lateness *excess* over the real run is named -- the answer to
+    "why did colocation see 10x the flaps?" is usually "because this stage
+    queued 100x longer".
+    """
+    real = reports["real"]
+    real_lateness = getattr(real, "stage_lateness", {}) or {}
+    out: Dict[str, Dict] = {}
+    for mode, report in reports.items():
+        if mode == "real":
+            continue
+        lateness = getattr(report, "stage_lateness", {}) or {}
+        excess = {
+            stage: lateness.get(stage, 0.0) - real_lateness.get(stage, 0.0)
+            for stage in set(lateness) | set(real_lateness)
+        }
+        if not excess:
+            out[mode] = {"stage": None, "excess_lateness": 0.0}
+            continue
+        stage = max(excess, key=excess.get)
+        out[mode] = {
+            "stage": stage if excess[stage] > 0 else None,
+            "excess_lateness": max(excess[stage], 0.0),
+            "excess_by_stage": excess,
+        }
+    return out

@@ -1,0 +1,236 @@
+"""A uniform metrics substrate: counters, gauges, histograms, snapshots.
+
+The repro's observability used to be ad-hoc attributes scattered across
+:class:`~repro.sim.kernel.Channel` (``total_wait``, ``max_depth``),
+:class:`~repro.sim.kernel.Lock` (``total_hold``), the network's per-reason
+drop counters, and the CPU models.  The :class:`MetricsRegistry` gives all
+of them one registration point and one snapshot format, so the question
+"where did the time go at N=256?" has a single structured answer instead of
+a grep through instance attributes.
+
+Metrics are named with optional labels (``registry.counter("net.dropped",
+reason="cut")``); a snapshot taken at a virtual time can be diffed against
+an earlier one to produce per-window values -- the substrate ScalAna-style
+scaling-loss detection needs (PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+def _full_name(name: str, labels: Dict[str, str]) -> str:
+    """Canonical ``name{k=v,...}`` identity (label-order independent)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Metric:
+    """Base class: a named, labelled instrument."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.full_name = _full_name(name, labels)
+
+    def payload(self) -> Dict[str, Any]:
+        """Snapshot payload (kind plus current values)."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A cumulative, monotonically increasing total.
+
+    ``set_total`` exists for mirroring an *external* cumulative counter
+    (e.g. ``Network.dropped_cut``) into the registry during collection;
+    instrumented code paths should use :meth:`inc`.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.full_name} cannot decrease")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Mirror an externally tracked cumulative total."""
+        self.value = float(value)
+
+    def payload(self) -> Dict[str, Any]:
+        """Snapshot payload (kind plus current values)."""
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge(Metric):
+    """A point-in-time value (queue depth, utilization, live-node count)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the value."""
+        self.value = float(value)
+
+    def payload(self) -> Dict[str, Any]:
+        """Snapshot payload (kind plus current values)."""
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram(Metric):
+    """A streaming distribution summary: count / sum / min / max / mean.
+
+    Deliberately bucket-free: the doctor ranks stages by *total* seconds of
+    lateness, for which (count, sum, max) suffice, and bucket boundaries
+    would have to vary wildly between metrics (waits span 1e-4 .. 1e2 s).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Fold one observation in."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def payload(self) -> Dict[str, Any]:
+        """Snapshot payload (kind plus current values)."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.vmin is not None else 0.0,
+            "max": self.vmax if self.vmax is not None else 0.0,
+            "mean": self.mean(),
+        }
+
+
+class MetricsSnapshot:
+    """All registered metrics at one virtual time, diffable into windows."""
+
+    def __init__(self, time: float, values: Dict[str, Dict[str, Any]]) -> None:
+        self.time = time
+        self.values = values
+
+    def get(self, full_name: str, field: str = "value") -> float:
+        """One metric's value (or a histogram field) from the snapshot."""
+        entry = self.values.get(full_name)
+        if entry is None:
+            return 0.0
+        return float(entry.get(field, 0.0))
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """The window between ``earlier`` and this snapshot.
+
+        Counters and histogram count/sum are differenced; gauges keep this
+        snapshot's value (a window has no meaningful gauge delta); histogram
+        min/max are reported from this snapshot (conservative bounds).
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for full_name, entry in self.values.items():
+            prev = earlier.values.get(full_name)
+            kind = entry.get("kind")
+            if kind == "counter":
+                before = float(prev["value"]) if prev else 0.0
+                out[full_name] = {"kind": kind,
+                                  "value": float(entry["value"]) - before}
+            elif kind == "histogram":
+                before_count = int(prev["count"]) if prev else 0
+                before_sum = float(prev["sum"]) if prev else 0.0
+                count = int(entry["count"]) - before_count
+                total = float(entry["sum"]) - before_sum
+                out[full_name] = {
+                    "kind": kind, "count": count, "sum": total,
+                    "min": entry["min"], "max": entry["max"],
+                    "mean": total / count if count else 0.0,
+                }
+            else:
+                out[full_name] = dict(entry)
+        return MetricsSnapshot(time=self.time, values=out)
+
+    def window_seconds(self, earlier: "MetricsSnapshot") -> float:
+        """Virtual length of the window this delta would cover."""
+        return self.time - earlier.time
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in a run.
+
+    The same ``(name, labels)`` always returns the same metric object, so
+    collection code can re-register idempotently each sampling tick.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, str]) -> Metric:
+        full = _full_name(name, labels)
+        metric = self._metrics.get(full)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[full] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {full!r} already registered as {metric.kind}, "
+                f"requested as {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get-or-create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get-or-create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get-or-create a :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, labels)
+
+    def names(self) -> List[str]:
+        """All registered full names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, full_name: str) -> Optional[Metric]:
+        """Look up a metric by its full ``name{labels}`` identity."""
+        return self._metrics.get(full_name)
+
+    def snapshot(self, now: float = 0.0) -> MetricsSnapshot:
+        """Freeze every metric's current value at virtual time ``now``."""
+        return MetricsSnapshot(
+            time=now,
+            values={full: metric.payload()
+                    for full, metric in self._metrics.items()},
+        )
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -93,6 +93,9 @@ class ProcessorSharingCpu(CpuModel):
         self.peak_jobs = 0
         self.completed_jobs = 0
         self.total_stretch = 0.0  # sum of elapsed/demand ratios
+        #: Virtual seconds jobs spent waiting beyond their uncontended
+        #: service time -- the doctor's "cpu-contention" lateness charge.
+        self.contention_seconds = 0.0
 
     # -- rate model ----------------------------------------------------------
 
@@ -162,12 +165,17 @@ class ProcessorSharingCpu(CpuModel):
             job.remaining -= rate * dt
             if job.remaining <= _EPSILON:
                 finished.append(job_id)
+        tracer = self.sim.tracer
         for job_id in finished:
             job = self._jobs.pop(job_id)
             elapsed = now - job.started
             self.completed_jobs += 1
             if job.demand > 0:
                 self.total_stretch += elapsed / job.demand
+            self.contention_seconds += max(0.0, elapsed - job.demand / self.speed)
+            if tracer is not None and tracer.enabled:
+                tracer.span(job.started, now, "compute", self.name,
+                            node=job.process.name, tag=job.tag)
             self.sim.schedule(0.0, lambda j=job, e=elapsed: j.process.resume(e))
 
     def _reschedule(self) -> None:
@@ -234,6 +242,7 @@ class PilCpu(CpuModel):
         self.name = name
         self.slept_seconds = 0.0
         self.completed_jobs = 0
+        self.contention_seconds = 0.0  # PIL sleeps never contend
 
     def submit(self, cost: float, process: "Process", tag: str = "") -> None:
         """Submit ``cost`` seconds of demand; resume ``process`` when served."""
@@ -241,6 +250,10 @@ class PilCpu(CpuModel):
             raise ValueError("negative sleep duration")
         self.slept_seconds += cost
         self.completed_jobs += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.span(self.sim.now, self.sim.now + cost, "compute",
+                        self.name, node=process.name, tag=tag)
         self.sim.schedule(cost, lambda: process.resume(cost),
                           tag=f"pil-sleep:{tag}")
 

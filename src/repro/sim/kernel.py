@@ -128,12 +128,23 @@ class Process:
         self.error: Optional[BaseException] = None
         self.pending_event: Optional[Event] = None
         self._joiners: List["Process"] = []
+        #: The Channel/Lock this process is currently parked in, so that
+        #: ``interrupt`` can deregister it (a dead process left in a wait
+        #: queue eats a delivery or a lock grant).
+        self.wait_target: Optional[Any] = None
+        #: Locks currently held, so ``interrupt`` can force-release them
+        #: (an interrupted holder would otherwise deadlock all waiters).
+        self.held_locks: List["Lock"] = []
 
     def resume(self, value: Any) -> None:
         """Advance the generator with ``value`` and enact its next effect."""
         if self.finished:
             return
         self.pending_event = None
+        self.wait_target = None
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.point("resume", self.name)
         try:
             effect = self.gen.send(value)
         except StopIteration as stop:
@@ -152,14 +163,29 @@ class Process:
         effect.enact(self.sim, self)
 
     def interrupt(self) -> None:
-        """Abort the process (used by fault injection)."""
+        """Abort the process (used by fault injection).
+
+        Interruption leaves no dangling kernel state: the pending event is
+        cancelled, the process is deregistered from whatever channel or
+        lock wait queue it is parked in, and any lock it still holds after
+        its generator's ``finally`` blocks ran is force-released so waiters
+        do not deadlock.
+        """
         if self.finished:
             return
         if self.pending_event is not None:
             self.pending_event.cancel()
             self.sim.events.note_cancelled()
             self.pending_event = None
+        if self.wait_target is not None:
+            self.wait_target._discard_waiter(self)
+            self.wait_target = None
+        # Close before force-releasing: a well-behaved finally block may
+        # release() its own locks, which removes them from held_locks.
         self.gen.close()
+        for lock in list(self.held_locks):
+            lock._holder_interrupted(self)
+        self.held_locks.clear()
         self._finish(None)
 
     def _finish(self, result: Any) -> None:
@@ -195,13 +221,28 @@ class Channel:
     def put(self, item: Any) -> None:
         """Enqueue ``item``; wakes one waiting getter if any."""
         self.total_enqueued += 1
-        if self._getters:
+        self._deliver_or_buffer(item)
+
+    def _deliver_or_buffer(self, item: Any) -> None:
+        while self._getters:
             getter = self._getters.popleft()
-            self.sim.schedule(0.0, lambda: getter.resume(item))
+            if getter.finished:  # interrupted while parked; skip it
+                continue
+            self._hand_off(getter, item)
             return
         self._items.append(item)
         self._enqueue_times.append(self.sim.now)
         self.max_depth = max(self.max_depth, len(self._items))
+
+    def _hand_off(self, getter: Process, item: Any) -> None:
+        """Schedule delivery; if the getter dies before the event fires,
+        the item is re-delivered instead of vanishing with it."""
+        def fire() -> None:
+            if getter.finished:
+                self._deliver_or_buffer(item)
+            else:
+                getter.resume(item)
+        self.sim.schedule(0.0, fire, tag=f"chan:{self.name}")
 
     def _register_getter(self, process: Process) -> None:
         if self._items:
@@ -209,9 +250,21 @@ class Channel:
             waited = self.sim.now - self._enqueue_times.popleft()
             self.total_wait += waited
             self.max_wait = max(self.max_wait, waited)
-            self.sim.schedule(0.0, lambda: process.resume(item))
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.enabled and waited > 0.0:
+                tracer.span(self.sim.now - waited, self.sim.now, "queue",
+                            self.name, node=process.name)
+            self._hand_off(process, item)
         else:
+            process.wait_target = self
             self._getters.append(process)
+
+    def _discard_waiter(self, process: Process) -> None:
+        """Remove an interrupted process from the getter queue."""
+        try:
+            self._getters.remove(process)
+        except ValueError:
+            pass
 
     def mean_wait(self) -> float:
         """Mean queueing delay of items that have been dequeued."""
@@ -238,6 +291,9 @@ class Lock:
         self.total_wait = 0.0
         self.max_wait = 0.0
         self.contended_acquires = 0
+        #: Holders interrupted mid-critical-section (fault injection);
+        #: each one force-released the lock so waiters could proceed.
+        self.forced_releases = 0
         self._wait_started: dict = {}
 
     @property
@@ -251,6 +307,7 @@ class Lock:
         else:
             self.contended_acquires += 1
             self._wait_started[id(process)] = self.sim.now
+            process.wait_target = self
             self._waiters.append(process)
 
     def _grant(self, process: Process, waited: float) -> None:
@@ -258,20 +315,64 @@ class Lock:
         self._acquired_at = self.sim.now
         self.total_wait += waited
         self.max_wait = max(self.max_wait, waited)
+        process.wait_target = None
+        process.held_locks.append(self)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled and waited > 0.0:
+            tracer.span(self.sim.now - waited, self.sim.now, "lock-wait",
+                        self.name, node=process.name)
         self.sim.schedule(0.0, lambda: process.resume(self))
+
+    def _discard_waiter(self, process: Process) -> None:
+        """Purge an interrupted process from the wait queue and stats."""
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            return
+        self._wait_started.pop(id(process), None)
+
+    def _record_hold(self, holder: Process) -> None:
+        held_for = self.sim.now - self._acquired_at
+        self.total_hold += held_for
+        self.max_hold = max(self.max_hold, held_for)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.span(self._acquired_at, self.sim.now, "lock-hold",
+                        self.name, node=holder.name)
+        if self in holder.held_locks:
+            holder.held_locks.remove(self)
+        self._holder = None
+
+    def _grant_next(self) -> None:
+        """Hand the lock to the longest-waiting *live* process, if any."""
+        while self._waiters:
+            nxt = self._waiters.popleft()
+            started = self._wait_started.pop(id(nxt), self.sim.now)
+            if nxt.finished:  # interrupted while queued; skip it
+                continue
+            self._grant(nxt, waited=self.sim.now - started)
+            return
 
     def release(self) -> None:
         """Release the lock; the longest-waiting process acquires next."""
         if self._holder is None:
             raise SimError(f"release of unheld lock {self.name!r}")
-        held_for = self.sim.now - self._acquired_at
-        self.total_hold += held_for
-        self.max_hold = max(self.max_hold, held_for)
-        self._holder = None
-        if self._waiters:
-            nxt = self._waiters.popleft()
-            waited = self.sim.now - self._wait_started.pop(id(nxt))
-            self._grant(nxt, waited)
+        self._record_hold(self._holder)
+        self._grant_next()
+
+    def _holder_interrupted(self, process: Process) -> None:
+        """Force-release on behalf of an interrupted holder.
+
+        Without this an interrupted critical section leaves the lock held
+        forever and every waiter deadlocks (the fault-injection engine
+        kills processes at arbitrary points, including inside ``Acquire``
+        ... ``release`` windows).
+        """
+        if self._holder is not process:
+            return
+        self.forced_releases += 1
+        self._record_hold(process)
+        self._grant_next()
 
 
 class Simulator:
@@ -297,6 +398,10 @@ class Simulator:
         self.strict = strict
         self.processes: List[Process] = []
         self._steps = 0
+        #: Optional :class:`repro.obs.tracer.SpanTracer`.  Every emission
+        #: site guards on ``tracer is not None and tracer.enabled``, so an
+        #: untraced run pays one attribute load per site and nothing else.
+        self.tracer: Optional[Any] = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -351,12 +456,15 @@ class Simulator:
             if next_time is None:
                 break
             if until is not None and next_time > until:
-                self.now = until
                 break
             self.step()
             budget -= 1
-        if until is not None and self.now < until and self.events.peek_time() is None:
-            self.now = until
+        # Advance the clock to the horizon on every exit path (drained
+        # queue, next event past the horizon, step budget exhausted) --
+        # but never past the earliest unfired event.
+        if until is not None and self.now < until:
+            next_time = self.events.peek_time()
+            self.now = until if next_time is None else min(until, next_time)
 
     @property
     def steps(self) -> int:

@@ -311,4 +311,9 @@ class Network:
         self.delivered += 1
         self.delivery_log.append(message.key)
         self.sim.trace.emit(self.sim.now, "deliver", message.key)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.span(message.send_time, self.sim.now, "net",
+                        f"{message.src}>{message.dst}", node=message.dst,
+                        tag=message.kind)
         inbox.put(message)

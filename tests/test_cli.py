@@ -121,6 +121,39 @@ def test_chaos_generates_and_shrinks(capsys):
         assert "shrunk" in out
 
 
+def test_doctor_reports_bottlenecks(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    code, out = run_cli(
+        capsys, "doctor", "--bug", "c5456", "--nodes", "6",
+        "--seed", "42", "--warmup", "10", "--observe", "40",
+        "--trace-out", str(trace))
+    assert code == 0
+    assert "scale-doctor report" in out
+    assert "total attributable lateness" in out
+    assert "gossip-stage-queue" in out
+    assert trace.exists()
+    from repro.obs import SpanTracer
+    assert len(SpanTracer.from_jsonl(trace)) > 0
+
+
+def test_doctor_no_trace_still_diagnoses(capsys):
+    code, out = run_cli(
+        capsys, "doctor", "--bug", "c3831-fixed", "--nodes", "6",
+        "--seed", "42", "--warmup", "10", "--observe", "40", "--no-trace")
+    assert code == 0
+    assert "scale-doctor report" in out
+
+
+def test_doctor_divergence_attributes_modes(capsys):
+    code, out = run_cli(
+        capsys, "doctor", "--bug", "c3831-fixed", "--nodes", "6",
+        "--seed", "42", "--warmup", "10", "--observe", "40",
+        "--no-trace", "--divergence")
+    assert code == 0
+    assert "divergence vs real" in out
+    assert "colo" in out and "pil" in out
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["warp-speed"])

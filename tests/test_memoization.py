@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.memoization import MemoDB, MemoRecord
+from repro.core.memoization import MemoDB, MemoRecord, PilViolationError
 
 
 def test_put_and_get():
@@ -24,6 +24,35 @@ def test_first_output_wins_durations_fold_to_mean():
     assert record.output == "first"       # outputs identical by PIL rule
     assert record.samples == 2
     assert record.duration == pytest.approx(2.0)
+
+
+def test_conflicting_output_is_counted_not_masked():
+    db = MemoDB()
+    db.put("f", "k", "first", duration=1.0)
+    record = db.put("f", "k", "DIFFERENT", duration=3.0)
+    assert record.output == "first"       # value behaviour unchanged...
+    assert db.conflicts == 1              # ...but the violation is visible
+    assert ("f", "k") in db.conflict_keys
+    db.put("f", "k", "first", duration=2.0)  # agreeing repeat: no conflict
+    assert db.conflicts == 1
+
+
+def test_strict_mode_raises_on_pil_violation():
+    db = MemoDB(strict=True)
+    db.put("f", "k", {"ring": [1, 2]}, duration=1.0)
+    db.put("f", "k", {"ring": [1, 2]}, duration=1.5)  # identical: fine
+    with pytest.raises(PilViolationError, match="PIL-safety violation"):
+        db.put("f", "k", {"ring": [9]}, duration=1.0)
+    assert db.conflicts == 1
+
+
+def test_conflict_keys_capped():
+    db = MemoDB()
+    for i in range(MemoDB.MAX_CONFLICT_KEYS + 10):
+        db.put("f", f"k{i}", "a", duration=1.0)
+        db.put("f", f"k{i}", "b", duration=1.0)
+    assert db.conflicts == MemoDB.MAX_CONFLICT_KEYS + 10
+    assert len(db.conflict_keys) == MemoDB.MAX_CONFLICT_KEYS
 
 
 def test_len_and_contains():

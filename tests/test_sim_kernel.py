@@ -261,6 +261,232 @@ class TestLock:
         assert lock.contended_acquires == 1
 
 
+class TestInterruptedGetter:
+    """Fault injection kills processes parked on channels; messages must
+    survive (the silent-drop bug: ``put()`` resumed a finished getter and
+    the item vanished)."""
+
+    def test_interrupted_getter_is_deregistered(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+        got = []
+
+        def receiver(name):
+            item = yield Get(inbox)
+            got.append((name, item))
+
+        victim = sim.spawn(receiver("victim"))
+        survivor = sim.spawn(receiver("survivor"))
+        sim.run()  # both park on the empty channel
+        victim.interrupt()
+        inbox.put("msg")
+        sim.run()
+        assert got == [("survivor", "msg")]
+        assert survivor.finished
+
+    def test_interrupt_between_put_and_delivery_redelivers(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+        got = []
+
+        def receiver(name):
+            item = yield Get(inbox)
+            got.append((name, item))
+
+        victim = sim.spawn(receiver("victim"))
+        survivor = sim.spawn(receiver("survivor"))
+        sim.run()
+        inbox.put("msg")        # delivery to victim now in flight
+        victim.interrupt()      # dies before the delivery event fires
+        sim.run()
+        assert got == [("survivor", "msg")]
+
+    def test_item_buffers_when_all_getters_dead(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+        got = []
+
+        def receiver():
+            item = yield Get(inbox)
+            got.append(item)
+
+        victim = sim.spawn(receiver())
+        sim.run()
+        victim.interrupt()
+        inbox.put("kept")
+        sim.run()
+        assert got == []
+        assert len(inbox) == 1  # buffered, not lost
+        sim.spawn(receiver())
+        sim.run()
+        assert got == ["kept"]
+
+    def test_no_item_is_ever_lost_under_interrupts(self):
+        sim = Simulator(seed=1)
+        inbox = sim.channel("in")
+        got = []
+
+        def receiver():
+            while True:
+                item = yield Get(inbox)
+                got.append(item)
+
+        victims = [sim.spawn(receiver()) for _ in range(3)]
+        sim.run()
+        for victim in victims:
+            victim.interrupt()
+        for i in range(5):
+            inbox.put(i)
+        sim.spawn(receiver())
+        sim.run(until=1.0)
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestInterruptedLockHolder:
+    """An interrupted critical section must not wedge the lock forever."""
+
+    def test_holder_interrupt_releases_to_next_waiter(self):
+        sim = Simulator(seed=1)
+        lock = sim.lock("l")
+        acquired = []
+
+        def holder():
+            yield Acquire(lock)
+            acquired.append("holder")
+            yield Timeout(100.0)  # would hold forever
+            lock.release()
+
+        def waiter():
+            yield Acquire(lock)
+            acquired.append("waiter")
+            lock.release()
+
+        victim = sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run(until=1.0)
+        assert acquired == ["holder"]
+        victim.interrupt()
+        sim.run()
+        assert acquired == ["holder", "waiter"]
+        assert not lock.held
+        assert lock.forced_releases == 1
+
+    def test_finally_release_wins_over_forced_release(self):
+        sim = Simulator(seed=1)
+        lock = sim.lock("l")
+
+        def tidy_holder():
+            yield Acquire(lock)
+            try:
+                yield Timeout(100.0)
+            finally:
+                lock.release()
+
+        victim = sim.spawn(tidy_holder())
+        sim.run(until=1.0)
+        victim.interrupt()
+        assert not lock.held
+        assert lock.forced_releases == 0  # the finally block did it
+
+    def test_interrupted_waiter_is_purged(self):
+        sim = Simulator(seed=1)
+        lock = sim.lock("l")
+        acquired = []
+
+        def holder():
+            yield Acquire(lock)
+            yield Timeout(2.0)
+            lock.release()
+
+        def waiter(name):
+            yield Acquire(lock)
+            acquired.append((name, sim.now))
+            lock.release()
+
+        sim.spawn(holder())
+        victim = sim.spawn(waiter("victim"))
+        sim.spawn(waiter("survivor"))
+        sim.run(until=1.0)
+        victim.interrupt()
+        sim.run()
+        assert acquired == [("survivor", 2.0)]
+        assert lock._wait_started == {}  # no leaked wait bookkeeping
+        assert not lock._waiters
+
+    def test_interrupt_between_grant_and_resume(self):
+        sim = Simulator(seed=1)
+        lock = sim.lock("l")
+        acquired = []
+
+        def holder():
+            yield Acquire(lock)
+            yield Timeout(1.0)
+            lock.release()
+
+        def waiter(name):
+            yield Acquire(lock)
+            acquired.append(name)
+            lock.release()
+
+        sim.spawn(holder())
+        first = sim.spawn(waiter("first"))
+        sim.spawn(waiter("second"))
+        # Step to the exact moment the release has granted the lock to
+        # "first" but its resume event has not fired yet.
+        while lock._holder is not first:
+            assert sim.step()
+        first.interrupt()
+        sim.run()
+        assert acquired == ["second"]
+        assert not lock.held
+
+
+class TestRunClock:
+    def test_clock_advances_when_events_remain_past_until(self):
+        sim = Simulator(seed=1)
+
+        def sleeper():
+            yield Timeout(100.0)
+
+        sim.spawn(sleeper())
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_clock_advances_on_exhausted_step_budget(self):
+        sim = Simulator(seed=1)
+        ticks = []
+
+        def ticker():
+            while True:
+                yield Timeout(1.0)
+                ticks.append(sim.now)
+
+        sim.spawn(ticker())
+        # spawn + 3 resumes: the budget ends with ticks at 1, 2 fired and
+        # an event pending at 3.0 -- the clock must reach the pending
+        # event's time, not stall at the last fired one.
+        sim.run(until=10.0, max_steps=4)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim.now == pytest.approx(4.0)
+
+    def test_clock_never_passes_next_pending_event(self):
+        sim = Simulator(seed=1)
+
+        def sleeper():
+            yield Timeout(7.0)
+
+        sim.spawn(sleeper())
+        sim.run(until=10.0, max_steps=1)  # only the spawn event fires
+        assert sim.now == pytest.approx(7.0)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_clock_reaches_until_when_drained(self):
+        sim = Simulator(seed=1)
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+
 def test_determinism_same_seed_same_schedule():
     def run_once(seed):
         sim = Simulator(seed=seed)
