@@ -5,6 +5,11 @@ bootstrap/cluster-rescale, whose duration is hard to predict (ranges from
 0.001 to 4 seconds in our test)" -- we check that the observed
 per-calculation demands across the sweep span roughly that band (the top
 of the band scales with the calibrated top scale).
+
+The (bug x scale) grid resolves through the parallel sweep engine
+(:mod:`repro.sweep`) against the same shared cache T-MEMO uses, so the
+real-mode reports are computed once per process tree (or once ever, with
+``REPRO_SWEEP_CACHE=<dir>``).
 """
 
 import pytest
@@ -47,4 +52,6 @@ def test_duration_report(benchmark, table, capsys):
                               rounds=1, iterations=1)
     with capsys.disabled():
         print("\n" + text)
-        print(f"(scales: {calibrate.figure3_scales()})")
+        from repro.bench.tables import bench_sweep_cache_dir
+        print(f"(scales: {calibrate.figure3_scales()}, "
+              f"sweep cache: {bench_sweep_cache_dir()})")

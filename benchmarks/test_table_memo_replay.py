@@ -12,6 +12,12 @@ time* (virtual seconds from operation start to cluster-wide convergence):
 
 plus the mechanics that make replay viable: high memo hit rates and a
 compact content-keyed database.
+
+The table now resolves through the parallel sweep engine
+(:mod:`repro.sweep`): all real/colo/pil points come from one grid
+resolution against a shared incremental cache, so re-renders inside this
+module (and T-DUR's overlapping real points) are cache hits, and setting
+``REPRO_SWEEP_CACHE=<dir>`` persists the work across invocations.
 """
 
 import pytest
@@ -80,4 +86,6 @@ def test_memo_replay_report(benchmark, table, capsys):
                               rounds=1, iterations=1)
     with capsys.disabled():
         print("\n" + text)
-        print(f"(top scale: {calibrate.figure3_scales()[-1]})")
+        from repro.bench.tables import bench_sweep_cache_dir
+        print(f"(top scale: {calibrate.figure3_scales()[-1]}, "
+              f"sweep cache: {bench_sweep_cache_dir()})")

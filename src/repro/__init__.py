@@ -58,6 +58,10 @@ from .core import (
 
 __version__ = "1.0.0"
 
+# The sweep engine bakes __version__ into its cache keys, so it must be
+# imported after the assignment above.
+from .sweep import SweepPoint, SweepSpec, SweepSummary, run_sweep  # noqa: E402
+
 __all__ = [
     "AnnotationRegistry",
     "Cluster",
@@ -77,6 +81,10 @@ __all__ = [
     "ScaleCheckResult",
     "ScaleDepAnnotation",
     "ScenarioParams",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepSummary",
+    "run_sweep",
     "all_bugs",
     "find_offending",
     "get_bug",

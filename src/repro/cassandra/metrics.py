@@ -9,9 +9,12 @@ used for accuracy comparisons and colocation-bottleneck detection.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -126,6 +129,44 @@ class RunReport:
     def total_calc_demand(self) -> float:
         """Sum of intrinsic calculation demand (seconds)."""
         return sum(record.demand for record in self.calc_records)
+
+    # -- serialization ------------------------------------------------------------
+    #
+    # Sweep workers return reports across process boundaries and the result
+    # cache persists them, so the dict form must be lossless.  The *canonical*
+    # form additionally zeroes ``wall_seconds`` -- the only host-time (hence
+    # nondeterministic) field -- so that two runs of the same seeded scenario
+    # serialize to byte-identical JSON regardless of which machine or process
+    # produced them.
+
+    def to_dict(self, canonical: bool = False) -> Dict[str, Any]:
+        """Lossless dict form (nested events/records become dicts)."""
+        data = dataclasses.asdict(self)
+        if canonical:
+            data["wall_seconds"] = 0.0
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        payload = dict(data)
+        payload["flap_events"] = [
+            FlapEvent(**event) for event in payload.get("flap_events", [])]
+        payload["calc_records"] = [
+            CalcRecord(**record) for record in payload.get("calc_records", [])]
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        payload = {key: value for key, value in payload.items()
+                   if key in field_names}
+        return cls(**payload)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON form (sorted keys, no host-time fields)."""
+        return json.dumps(self.to_dict(canonical=True), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON form (replay-determinism identity)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     def summary(self) -> str:
         """One-line human-readable summary."""

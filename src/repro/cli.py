@@ -11,6 +11,9 @@ Commands map one-to-one onto the library's main entry points:
 * ``finder``     -- run the offending-function finder over the calculation
                     corpus (or any importable module) and print the report;
 * ``figure3``    -- regenerate one Figure 3 panel (flaps vs scale);
+* ``sweep``      -- run a declarative (bug, scale, seed, mode, chaos) grid
+                    through the parallel sweep engine with a persistent
+                    recording store and incremental result cache;
 * ``study``      -- print the 38-bug study population table;
 * ``colocation`` -- print max-colocation factors and bottlenecks;
 * ``bugs``       -- list the reproducible bug configurations.
@@ -196,6 +199,44 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core.report import render_sweep_summary
+    from .obs import SweepCollector
+    from .sweep import SweepSpec, run_sweep
+
+    if args.spec:
+        spec = SweepSpec.load(args.spec)
+        print(f"loaded sweep spec {spec.name or args.spec!r} "
+              f"({len(spec)} points)")
+    else:
+        spec = SweepSpec(
+            bugs=args.bugs,
+            scales=args.scales,
+            seeds=args.seeds,
+            modes=args.modes,
+            chaos_seeds=(args.chaos_seeds if args.chaos_seeds
+                         else [None]),
+            chaos_events=args.chaos_events,
+            enforce_order=args.enforce_order,
+            vnodes=args.vnodes,
+        )
+    if args.save_spec:
+        spec.save(args.save_spec)
+        print(f"sweep spec saved to {args.save_spec}")
+
+    points = spec.expand()
+    print(f"sweeping {len(points)} points with {args.workers} "
+          f"worker{'s' if args.workers != 1 else ''} "
+          f"(cache: {args.cache_dir}{', forced' if args.force else ''})...")
+    collector = SweepCollector()
+    summary = run_sweep(spec, workers=args.workers,
+                        cache_dir=args.cache_dir, force=args.force,
+                        collector=collector)
+    print()
+    print(render_sweep_summary(summary))
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     print(render_population_table(default_study()))
     return 0
@@ -304,6 +345,35 @@ def build_parser() -> argparse.ArgumentParser:
     figure3.add_argument("--scales", type=int, nargs="*", default=None)
     figure3.add_argument("--seed", type=int, default=42)
     figure3.set_defaults(func=_cmd_figure3)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (bug, scale, seed, mode, chaos) grid in parallel with "
+             "a persistent recording store and incremental result cache")
+    sweep.add_argument("--bugs", nargs="+", default=["c3831"])
+    sweep.add_argument("--scales", type=int, nargs="+", default=[16, 32])
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[42])
+    sweep.add_argument("--modes", nargs="+", default=["pil"],
+                       choices=["real", "colo", "pil"])
+    sweep.add_argument("--chaos-seeds", type=int, nargs="*", default=None,
+                       help="chaos-generator seeds (omit for fault-free)")
+    sweep.add_argument("--chaos-events", type=int, default=8)
+    sweep.add_argument("--enforce-order", action="store_true",
+                       help="enforce recorded message order during replays")
+    sweep.add_argument("--vnodes", type=int, default=None,
+                       help="override the bugs' vnode counts (affordability)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the grid fan-out")
+    sweep.add_argument("--cache-dir", default=".repro-sweep",
+                       help="persistent recording + result cache directory")
+    sweep.add_argument("--force", action="store_true",
+                       help="re-execute every point, refreshing the cache")
+    sweep.add_argument("--spec", default=None,
+                       help="load the grid from a saved sweep-spec JSON "
+                            "file instead of the axis flags")
+    sweep.add_argument("--save-spec", default=None,
+                       help="write the grid to this sweep-spec JSON file")
+    sweep.set_defaults(func=_cmd_sweep)
 
     study = sub.add_parser("study", help="print the 38-bug study table")
     study.set_defaults(func=_cmd_study)

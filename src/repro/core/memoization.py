@@ -13,10 +13,14 @@ database small even though the calculation runs thousands of times.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Format tag written into serialized databases (bump on incompatible change).
+MEMO_FORMAT = "repro-memo-db-v1"
 
 
 @dataclass
@@ -163,27 +167,69 @@ class MemoDB:
         return self.hits / self.lookups if self.lookups else 0.0
 
     # -- persistence -----------------------------------------------------------------
+    #
+    # The payload is *canonical*: records are sorted by (func_id, input_key)
+    # so that two processes recording the same run serialize byte-identical
+    # databases -- the property the sweep engine's content-addressed result
+    # cache is keyed on.  Strict-mode state and the conflict diagnostics are
+    # carried through the round trip so a reloaded database reports the same
+    # PIL-safety verdict the recording run saw.
 
-    def save(self, path) -> None:
-        """Serialize to JSON (records, message order, metadata)."""
-        payload = {
+    def to_payload(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form (records sorted by key)."""
+        return {
+            "format": MEMO_FORMAT,
             "meta": self.meta,
             "message_order": self.message_order,
-            "records": [asdict(record) for record in self._records.values()],
+            "records": [asdict(self._records[key])
+                        for key in sorted(self._records)],
+            "strict": self.strict,
+            "conflicts": self.conflicts,
+            "conflict_keys": [list(key) for key in self.conflict_keys],
         }
-        Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
 
     @classmethod
-    def load(cls, path) -> "MemoDB":
-        """Load."""
-        payload = json.loads(Path(path).read_text())
-        db = cls()
+    def from_payload(cls, payload: Dict[str, Any]) -> "MemoDB":
+        """Inverse of :meth:`to_payload`."""
+        fmt = payload.get("format", MEMO_FORMAT)
+        if fmt != MEMO_FORMAT:
+            raise ValueError(f"unknown memo-db format {fmt!r} "
+                             f"(expected {MEMO_FORMAT!r})")
+        db = cls(strict=bool(payload.get("strict", False)))
         db.meta = dict(payload.get("meta", {}))
         db.message_order = list(payload.get("message_order", []))
         for item in payload.get("records", []):
             record = MemoRecord(**item)
             db._records[record.key()] = record
+        db.conflicts = int(payload.get("conflicts", 0))
+        db.conflict_keys = [tuple(key)
+                            for key in payload.get("conflict_keys", [])]
         return db
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON form (sorted keys, compact separators)."""
+        return json.dumps(self.to_payload(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical form: the database's content identity.
+
+        Two recordings of the same seeded scenario -- in different
+        processes, on different days -- produce equal digests; the sweep
+        result cache folds this into every PIL point's key so a replay
+        result is never reused against a recording it did not come from.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def save(self, path) -> None:
+        """Serialize to JSON (records, message order, metadata, conflicts)."""
+        Path(path).write_text(json.dumps(self.to_payload(), indent=1,
+                                         sort_keys=True))
+
+    @classmethod
+    def load(cls, path) -> "MemoDB":
+        """Read a database previously written with :meth:`save`."""
+        return cls.from_payload(json.loads(Path(path).read_text()))
 
     def merge(self, other: "MemoDB") -> int:
         """Fold another DB's records in (multi-run memoization); returns the

@@ -14,8 +14,8 @@ stalled enforcer and skips past missing keys after a grace period.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 from ..cassandra.cluster import Cluster, ClusterConfig, Mode
 from ..cassandra.metrics import RunReport
@@ -30,16 +30,58 @@ from .pil import MissPolicy, PilReplayExecutor
 
 @dataclass
 class ReplayResult:
-    """A completed replay with its determinism diagnostics."""
+    """A completed replay with its determinism diagnostics.
+
+    ``hit_rate`` is derived from ``hits``/``misses`` rather than stored, so
+    it can never disagree with the counts and never divides by zero: a
+    replay over an empty recording (zero lookups) reports a rate of 0.0.
+    """
 
     report: RunReport
     hits: int
     misses: int
-    hit_rate: float
     order_enforced: bool
     order_released: int = 0
     order_skipped: int = 0
     order_parked_at_end: int = 0
+    hit_rate: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        total = self.hits + self.misses
+        self.hit_rate = self.hits / total if total else 0.0
+
+    # -- serialization (sweep workers ship results across processes) --------------
+
+    def to_dict(self, with_report: bool = True) -> Dict[str, Any]:
+        """Dict form; ``with_report=False`` leaves the report to the caller."""
+        data = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "order_enforced": self.order_enforced,
+            "order_released": self.order_released,
+            "order_skipped": self.order_skipped,
+            "order_parked_at_end": self.order_parked_at_end,
+        }
+        if with_report:
+            data["report"] = self.report.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any],
+                  report: Optional[RunReport] = None) -> "ReplayResult":
+        """Inverse of :meth:`to_dict` (pass ``report`` if not embedded)."""
+        if report is None:
+            report = RunReport.from_dict(data["report"])
+        return cls(
+            report=report,
+            hits=int(data["hits"]),
+            misses=int(data["misses"]),
+            order_enforced=bool(data["order_enforced"]),
+            order_released=int(data.get("order_released", 0)),
+            order_skipped=int(data.get("order_skipped", 0)),
+            order_parked_at_end=int(data.get("order_parked_at_end", 0)),
+        )
 
 
 class ReplayHarness:
@@ -99,7 +141,6 @@ class ReplayHarness:
             report=report,
             hits=int(stats["hits"]),
             misses=int(stats["misses"]),
-            hit_rate=float(stats["hit_rate"]),
             order_enforced=self.enforce_order,
             order_released=enforcer.released_in_order if enforcer else 0,
             order_skipped=enforcer.skips if enforcer else 0,

@@ -100,7 +100,13 @@ def render_memo_summary(db: MemoDB) -> str:
             f"different output) -- replay outputs are unreliable"
         )
     for key, value in sorted(db.meta.items()):
-        lines.append(f"meta {key}: {value}")
+        if isinstance(value, (dict, list)):
+            # Bulky payloads (e.g. the embedded canonical memo report the
+            # sweep engine persists) are summarized, not dumped.
+            lines.append(f"meta {key}: <{type(value).__name__}, "
+                         f"{len(value)} entries>")
+        else:
+            lines.append(f"meta {key}: {value}")
     return "\n".join(lines)
 
 
@@ -127,6 +133,21 @@ def render_divergence(reports: Dict[str, RunReport]) -> str:
             f"(err {accuracy_error(real, report):.0%}) <- {stage} "
             f"(+{info.get('excess_lateness', 0.0):.2f}s lateness vs real)"
         )
+    return "\n".join(lines)
+
+
+def render_sweep_summary(summary, title: str = "") -> str:
+    """Sweep result table plus cache/worker provenance footer.
+
+    ``summary`` is duck-typed (anything with ``table()`` and
+    ``stats_line()``, i.e. :class:`repro.sweep.executor.SweepSummary`) so
+    the core reporting layer does not import the sweep engine.
+    """
+    lines = []
+    if title:
+        lines.extend([title, "=" * len(title)])
+    lines.append(summary.table())
+    lines.append(summary.stats_line())
     return "\n".join(lines)
 
 

@@ -20,7 +20,9 @@ and :meth:`ScaleCheck.run_colo` produce the "Real" and "Colo" baselines and
 from __future__ import annotations
 
 import copy
+import dataclasses
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Optional
 
 from .. import annotations as _annotations
@@ -56,7 +58,14 @@ class ScaleCheckResult:
         return self.replay.report
 
     def speedup(self) -> float:
-        """Wall-clock memoization/replay cost ratio (host seconds)."""
+        """Wall-clock memoization/replay cost ratio (host seconds).
+
+        0.0 when the memoization cost is unknown (e.g. the recording was
+        loaded from disk, so no host time was spent); inf when replay was
+        immeasurably fast.
+        """
+        if self.memo_report.wall_seconds <= 0:
+            return 0.0
         if self.replay_report.wall_seconds <= 0:
             return float("inf")
         return self.memo_report.wall_seconds / self.replay_report.wall_seconds
@@ -76,11 +85,17 @@ class ScaleCheck:
     gossip: GossipConfig = field(default_factory=GossipConfig)
     rf: int = 3
     memo_noise_sigma: float = 0.02
+    #: Optional vnode-count override (affordability: large-N sweeps shrink
+    #: the per-node token population the way ``repro doctor --vnodes`` does).
+    vnodes: Optional[int] = None
 
     @property
     def bug(self) -> BugConfig:
-        """The bug configuration under check."""
-        return get_bug(self.bug_id)
+        """The bug configuration under check (vnodes override applied)."""
+        bug = get_bug(self.bug_id)
+        if self.vnodes is not None:
+            bug = dataclasses.replace(bug, vnodes=self.vnodes)
+        return bug
 
     def config(self, mode: Mode) -> ClusterConfig:
         """Cluster configuration for the given mode."""
@@ -136,11 +151,14 @@ class ScaleCheck:
             "func_id": CALC_FUNC_ID,
             "mode": "colo-memoize",
             "virtual_duration": report.duration,
+            # Canonical (host-time-free) form so the recording run's report
+            # survives persistence without perturbing the DB's digest.
+            "memo_report": report.to_dict(canonical=True),
         })
         return ScaleCheckResult(
             bug_id=self.bug_id, nodes=self.nodes,
             memo_report=report,
-            replay=ReplayResult(report=report, hits=0, misses=0, hit_rate=0.0,
+            replay=ReplayResult(report=report, hits=0, misses=0,
                                 order_enforced=False),
             db=db,
         )
@@ -169,6 +187,57 @@ class ScaleCheck:
             faults=faults,
         )
         return harness.replay()
+
+    # -- persistent-recording pipeline (the sweep engine's unit of work) ---------------
+
+    def memoize_to(self, path,
+                   faults: Optional[FaultSchedule] = None) -> ScaleCheckResult:
+        """Memoize once and persist the database to ``path`` atomically.
+
+        The write goes through a temporary sibling file and ``os.replace``
+        so a concurrent reader (another sweep worker warming up) never sees
+        a torn database.
+        """
+        import os
+
+        result = self.memoize(faults=faults)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        result.db.save(tmp)
+        os.replace(tmp, path)
+        return result
+
+    def check_cached(
+        self,
+        db_path,
+        enforce_order: bool = False,
+        miss_policy: MissPolicy = MissPolicy.MODEL,
+        faults: Optional[FaultSchedule] = None,
+    ) -> ScaleCheckResult:
+        """The scale-check flow with a persistent recording.
+
+        If ``db_path`` exists the one-time basic-colocation recording is
+        *loaded* instead of re-executed -- the whole point of the sweep
+        engine: every replay worker shares one recording.  Otherwise the
+        recording runs here and is persisted for the next caller.
+        """
+        db_path = Path(db_path)
+        if db_path.exists():
+            db = MemoDB.load(db_path)
+            memo_report = RunReport.from_dict(db.meta["memo_report"])
+            result = ScaleCheckResult(
+                bug_id=self.bug_id, nodes=self.nodes,
+                memo_report=memo_report,
+                replay=ReplayResult(report=memo_report, hits=0, misses=0,
+                                    order_enforced=False),
+                db=db,
+            )
+        else:
+            result = self.memoize_to(db_path, faults=faults)
+        result.replay = self.replay(result.db, enforce_order=enforce_order,
+                                    miss_policy=miss_policy, faults=faults)
+        return result
 
     # -- the whole pipeline ----------------------------------------------------------------
 

@@ -77,6 +77,83 @@ class ChaosConfig:
     max_down_fraction: float = 0.34
 
 
+def _uniform(rng: random.Random, bounds) -> float:
+    """One bounded uniform draw from the schedule's single RNG."""
+    return rng.uniform(bounds[0], bounds[1])
+
+
+def _draw_crash(rng: random.Random, when: float, population: Sequence[str],
+                down: Dict[str, float], max_down: int,
+                config: ChaosConfig) -> List[Fault]:
+    """Draw a crash (and usually its restart) against the live population."""
+    up = [n for n, until in sorted(down.items()) if until <= when]
+    for node in up:
+        del down[node]
+    candidates = [n for n in population if n not in down]
+    if not candidates or len(down) >= max_down:
+        return []
+    victim = rng.choice(candidates)
+    events: List[Fault] = [NodeCrash(time=when, node=victim)]
+    if rng.random() < config.permanent_crash_p:
+        down[victim] = float("inf")
+    else:
+        back = when + _uniform(rng, config.outage)
+        events.append(NodeRestart(time=back, node=victim))
+        down[victim] = back
+    return events
+
+
+def _draw_partition(rng: random.Random, when: float,
+                    population: Sequence[str],
+                    config: ChaosConfig) -> List[Fault]:
+    """Draw a minority partition and its matching heal."""
+    minority = max(1, int(len(population) * config.partition_fraction))
+    shuffled = list(population)
+    rng.shuffle(shuffled)
+    side_a = tuple(sorted(shuffled[:minority]))
+    side_b = tuple(sorted(shuffled[minority:]))
+    return [
+        PartitionCut(time=when, side_a=side_a, side_b=side_b),
+        Heal(time=when + _uniform(rng, config.partition_duration),
+             side_a=side_a, side_b=side_b),
+    ]
+
+
+def _draw_link_degrade(rng: random.Random, when: float,
+                       population: Sequence[str],
+                       config: ChaosConfig) -> List[Fault]:
+    """Draw a lossy/slow directed link."""
+    src, dst = rng.sample(list(population), 2)
+    return [LinkDegrade(
+        time=when, src=src, dst=dst,
+        drop_p=round(_uniform(rng, config.drop_p), 3),
+        latency_mult=round(_uniform(rng, config.latency_mult), 3),
+        duration=round(_uniform(rng, config.degrade_duration), 3),
+    )]
+
+
+def _draw_cpu_stress(rng: random.Random, when: float,
+                     population: Sequence[str],
+                     config: ChaosConfig) -> List[Fault]:
+    """Draw a CPU antagonist on one node."""
+    return [CpuStress(
+        time=when, node=rng.choice(list(population)),
+        hogs=rng.randint(int(config.hogs[0]), int(config.hogs[1])),
+        duration=round(_uniform(rng, config.stress_duration), 3),
+    )]
+
+
+def _draw_disk_degrade(rng: random.Random, when: float,
+                       population: Sequence[str],
+                       config: ChaosConfig) -> List[Fault]:
+    """Draw a disk throttle on one node."""
+    return [DiskDegrade(
+        time=when, node=rng.choice(list(population)),
+        bandwidth_factor=round(_uniform(rng, config.disk_factor), 3),
+        duration=round(_uniform(rng, config.disk_duration), 3),
+    )]
+
+
 def generate_schedule(nodes: Sequence[str], seed: int,
                       config: ChaosConfig = None,
                       name: str = "") -> FaultSchedule:
@@ -86,6 +163,14 @@ def generate_schedule(nodes: Sequence[str], seed: int,
     for determinism -- pass a sorted list).  Crashes are paired with
     restarts and partitions with heals unless the draw makes them
     permanent, so the cluster keeps churning instead of dying.
+
+    Every stochastic decision flows through the *single*
+    ``random.Random(seed)`` created here -- the draw helpers take it
+    explicitly and nothing touches module-level ``random`` state -- so two
+    worker processes handed the same ``(nodes, seed, config)`` triple
+    produce schedules with equal :meth:`~.FaultSchedule.digest` values.
+    That cross-process stability is what lets the sweep engine fold a
+    schedule's digest into its content-addressed cache keys.
     """
     config = config or ChaosConfig()
     if not nodes:
@@ -97,57 +182,23 @@ def generate_schedule(nodes: Sequence[str], seed: int,
     events: List[Fault] = []
     down: Dict[str, float] = {}  # node -> restart time (inf = permanent)
     max_down = max(1, int(len(population) * config.max_down_fraction))
-
-    def uniform(bounds) -> float:
-        return rng.uniform(bounds[0], bounds[1])
+    draw = {
+        NodeCrash.kind: lambda when: _draw_crash(rng, when, population,
+                                                 down, max_down, config),
+        PartitionCut.kind: lambda when: _draw_partition(rng, when,
+                                                        population, config),
+        LinkDegrade.kind: lambda when: _draw_link_degrade(rng, when,
+                                                          population, config),
+        CpuStress.kind: lambda when: _draw_cpu_stress(rng, when,
+                                                      population, config),
+        DiskDegrade.kind: lambda when: _draw_disk_degrade(rng, when,
+                                                          population, config),
+    }
 
     for __ in range(max(0, config.events)):
         when = rng.uniform(config.start, config.horizon)
         kind = rng.choices(kinds, weights=weights, k=1)[0]
-        if kind == NodeCrash.kind:
-            up = [n for n, until in sorted(down.items()) if until <= when]
-            for node in up:
-                del down[node]
-            candidates = [n for n in population if n not in down]
-            if not candidates or len(down) >= max_down:
-                continue
-            victim = rng.choice(candidates)
-            events.append(NodeCrash(time=when, node=victim))
-            if rng.random() < config.permanent_crash_p:
-                down[victim] = float("inf")
-            else:
-                back = when + uniform(config.outage)
-                events.append(NodeRestart(time=back, node=victim))
-                down[victim] = back
-        elif kind == PartitionCut.kind:
-            minority = max(1, int(len(population) * config.partition_fraction))
-            shuffled = population[:]
-            rng.shuffle(shuffled)
-            side_a = tuple(sorted(shuffled[:minority]))
-            side_b = tuple(sorted(shuffled[minority:]))
-            events.append(PartitionCut(time=when, side_a=side_a, side_b=side_b))
-            events.append(Heal(time=when + uniform(config.partition_duration),
-                               side_a=side_a, side_b=side_b))
-        elif kind == LinkDegrade.kind:
-            src, dst = rng.sample(population, 2)
-            events.append(LinkDegrade(
-                time=when, src=src, dst=dst,
-                drop_p=round(uniform(config.drop_p), 3),
-                latency_mult=round(uniform(config.latency_mult), 3),
-                duration=round(uniform(config.degrade_duration), 3),
-            ))
-        elif kind == CpuStress.kind:
-            events.append(CpuStress(
-                time=when, node=rng.choice(population),
-                hogs=rng.randint(int(config.hogs[0]), int(config.hogs[1])),
-                duration=round(uniform(config.stress_duration), 3),
-            ))
-        elif kind == DiskDegrade.kind:
-            events.append(DiskDegrade(
-                time=when, node=rng.choice(population),
-                bandwidth_factor=round(uniform(config.disk_factor), 3),
-                duration=round(uniform(config.disk_duration), 3),
-            ))
+        events.extend(draw[kind](when))
     schedule = FaultSchedule(events=events, seed=seed,
                              name=name or f"chaos-{seed}")
     schedule.events = schedule.sorted_events()

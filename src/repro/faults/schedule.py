@@ -11,6 +11,7 @@ The JSON form is lossless: ``FaultSchedule.from_json(s.to_json()) == s``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -111,6 +112,21 @@ class FaultSchedule:
     def to_json(self, indent: int = 1) -> str:
         """Serialize to a JSON string."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def canonical_json(self) -> str:
+        """Deterministic compact JSON (sorted keys, events in time order)."""
+        data = self.to_dict()
+        data["events"] = [e.to_dict() for e in self.sorted_events()]
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 content identity of the schedule.
+
+        Stable across processes and interpreter runs (no reliance on
+        ``hash()``), so sweep workers on different machines agree on the
+        cache key of a point that enacts this schedule.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "FaultSchedule":

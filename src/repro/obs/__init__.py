@@ -15,7 +15,7 @@ Four pieces, layered bottom-up:
   attribution for ``ScaleCheck.compare_modes``.
 """
 
-from .collect import ClusterCollector
+from .collect import ClusterCollector, SweepCollector
 from .doctor import (
     Bottleneck,
     DoctorReport,
@@ -56,6 +56,7 @@ __all__ = [
     "MetricsSnapshot",
     "Span",
     "SpanTracer",
+    "SweepCollector",
     "attribute_divergence",
     "diagnose",
     "stage_lateness",

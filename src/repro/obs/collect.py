@@ -166,3 +166,48 @@ class ClusterCollector:
                 self.collect()
 
         return _run()
+
+
+class SweepCollector:
+    """Mirrors sweep-engine progress into a metrics registry.
+
+    The sweep executor reports every grid point (executed or served from
+    the incremental cache) and every recording event (MemoDB built vs
+    reloaded), so a CI run's registry snapshot answers "how warm was the
+    cache?" with the same instrument vocabulary the cluster collectors use:
+
+    * ``sweep.points{status=executed|cached}`` -- grid-point counters;
+    * ``sweep.memo{event=built|reused}``       -- recording reuse counters;
+    * ``sweep.point_seconds{mode=...}``        -- host wall time histogram
+      of executed points, per run mode.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def point_finished(self, mode: str, cached: bool,
+                       wall_seconds: float = 0.0) -> None:
+        """Record one resolved grid point."""
+        status = "cached" if cached else "executed"
+        self.registry.counter("sweep.points", status=status).inc()
+        if not cached:
+            self.registry.histogram("sweep.point_seconds",
+                                    mode=mode).observe(wall_seconds)
+
+    def memo_built(self) -> None:
+        """Record one basic-colocation recording executed and persisted."""
+        self.registry.counter("sweep.memo", event="built").inc()
+
+    def memo_reused(self) -> None:
+        """Record one replay that reloaded a persisted recording."""
+        self.registry.counter("sweep.memo", event="reused").inc()
+
+    def counts(self) -> dict:
+        """Current counter values (testing/report convenience)."""
+        snapshot = self.registry.snapshot()
+        return {
+            "executed": snapshot.get("sweep.points{status=executed}"),
+            "cached": snapshot.get("sweep.points{status=cached}"),
+            "memo_built": snapshot.get("sweep.memo{event=built}"),
+            "memo_reused": snapshot.get("sweep.memo{event=reused}"),
+        }

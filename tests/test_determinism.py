@@ -1,0 +1,170 @@
+"""Cross-process determinism: the property every sweep cache key relies on.
+
+The incremental result cache serves a stored result whenever the
+content-addressed key matches, so a run's outcome must be a pure function
+of its JSON job payload -- same payload in this process, a second run in
+this process, or a fresh interpreter must produce byte-identical canonical
+reports and equal content digests.  These tests pin exactly that.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import calibrate
+from repro.cassandra.cluster import node_name
+from repro.cassandra.metrics import RunReport
+from repro.faults.chaos import ChaosConfig, generate_schedule
+from repro.sweep import SweepPoint
+from repro.sweep.executor import _execute_job
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+NODES = 8
+SEED = 7
+
+
+def job_payload(kind, point, **extra):
+    """A worker job payload exactly as run_sweep would build it."""
+    payload = {
+        "kind": kind,
+        "point": point.to_dict(),
+        "key": "",
+        "identity_key": "",
+        "params": dataclasses.asdict(calibrate.scenario_params()),
+        "constants": dataclasses.asdict(
+            calibrate.experiment_constants(point.bug_id)),
+        "machine": None,
+    }
+    payload.update(extra)
+    return payload
+
+
+def run_script(script, payload):
+    """Run a snippet in a fresh interpreter, feeding ``payload`` on stdin."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps(payload), capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+JOB_SCRIPT = """
+import json, sys
+from repro.cassandra.metrics import RunReport
+from repro.sweep.executor import _execute_job
+out = _execute_job(json.load(sys.stdin))
+print(RunReport.from_dict(out["report"]).canonical_json())
+if out.get("replay") is not None:
+    print(json.dumps(out["replay"], sort_keys=True))
+if out.get("memo_digest"):
+    print(out["memo_digest"])
+"""
+
+CHAOS_SCRIPT = """
+import json, sys
+from repro.cassandra.cluster import node_name
+from repro.faults.chaos import ChaosConfig, generate_schedule
+spec = json.load(sys.stdin)
+population = [node_name(i) for i in range(spec["nodes"])]
+schedule = generate_schedule(
+    population, spec["seed"],
+    ChaosConfig(events=spec["events"], horizon=spec["horizon"]))
+print(schedule.digest())
+"""
+
+
+def canonical_report(out):
+    return RunReport.from_dict(out["report"]).canonical_json()
+
+
+def test_real_run_twice_in_process_is_identical():
+    point = SweepPoint(bug_id="c3831", nodes=NODES, seed=SEED, mode="real")
+    first = _execute_job(job_payload("real", point))
+    second = _execute_job(job_payload("real", point))
+    assert canonical_report(first) == canonical_report(second)
+    # The raw dicts differ only in host wall time, nothing else.
+    a, b = dict(first["report"]), dict(second["report"])
+    a["wall_seconds"] = b["wall_seconds"] = 0.0
+    assert a == b
+
+
+def test_real_run_in_subprocess_matches_in_process():
+    point = SweepPoint(bug_id="c3831", nodes=NODES, seed=SEED, mode="real")
+    local = canonical_report(_execute_job(job_payload("real", point)))
+    remote = run_script(JOB_SCRIPT, job_payload("real", point))
+    assert remote == local
+
+
+def test_memo_digest_is_stable_across_two_worker_processes(tmp_path):
+    """Two workers recording the same seeded scenario serialize
+
+    byte-identical databases -- equal content digests -- which is what lets
+    one worker's recording stand in for everybody's."""
+    point = SweepPoint(bug_id="c3831", nodes=NODES, seed=SEED, mode="colo")
+    digests = []
+    for worker in ("a", "b"):
+        payload = job_payload("memo", point,
+                              memo_path=str(tmp_path / f"{worker}.json"))
+        digests.append(run_script(JOB_SCRIPT, payload).splitlines()[-1])
+    assert digests[0] == digests[1]
+    local = _execute_job(job_payload("memo", point,
+                                     memo_path=str(tmp_path / "c.json")))
+    assert local["memo_digest"] == digests[0]
+    # And the persisted files really are byte-identical.
+    assert ((tmp_path / "a.json").read_bytes()
+            == (tmp_path / "b.json").read_bytes())
+
+
+def test_replay_twice_in_process_and_once_in_subprocess(tmp_path):
+    """The full sweep unit of work -- record once, replay everywhere --
+
+    yields identical canonical reports and replay stats no matter which
+    process runs the replay."""
+    point = SweepPoint(bug_id="c3831", nodes=NODES, seed=SEED, mode="pil")
+    memo_path = str(tmp_path / "memo.json")
+    memo = _execute_job(job_payload("memo", point, memo_path=memo_path))
+
+    replay_payload = job_payload("replay", point, memo_path=memo_path,
+                                 memo_digest=memo["memo_digest"])
+    first = _execute_job(replay_payload)
+    second = _execute_job(replay_payload)
+    assert canonical_report(first) == canonical_report(second)
+    assert first["replay"] == second["replay"]
+
+    remote = run_script(JOB_SCRIPT, replay_payload).splitlines()
+    assert remote[0] == canonical_report(first)
+    assert json.loads(remote[1]) == first["replay"]
+
+
+def test_chaos_runs_are_deterministic_across_processes():
+    """A chaos point regenerates its schedule inside each worker; the run
+
+    must still be a pure function of the payload."""
+    point = SweepPoint(bug_id="c6127", nodes=NODES, seed=SEED, mode="real",
+                       chaos_seed=3, chaos_events=4)
+    local = canonical_report(_execute_job(job_payload("real", point)))
+    remote = run_script(JOB_SCRIPT, job_payload("real", point))
+    assert remote == local
+
+
+@pytest.mark.parametrize("chaos_seed", [0, 3, 11])
+def test_fault_schedule_digest_stable_across_worker_processes(chaos_seed):
+    """Satellite: two spawned workers generating the same seeded schedule
+
+    agree on its content digest (no Python hash() randomization leaks)."""
+    spec = {"nodes": NODES, "seed": chaos_seed, "events": 6, "horizon": 90.0}
+    population = [node_name(i) for i in range(spec["nodes"])]
+    local = generate_schedule(
+        population, chaos_seed,
+        ChaosConfig(events=spec["events"], horizon=spec["horizon"])).digest()
+    workers = [run_script(CHAOS_SCRIPT, spec) for _ in range(2)]
+    assert workers[0] == workers[1] == local
