@@ -1,0 +1,56 @@
+"""The lint finding record shared by every checker.
+
+Fingerprints identify a finding across runs for baseline suppression.
+They deliberately exclude line numbers -- moving code must not churn the
+baseline -- and hash only the rule, the location identity (module +
+function), and a rule-chosen stable detail string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict
+
+#: Severity sort order (most severe first).
+SEVERITY_ORDER = {"error": 0, "warning": 1, "note": 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    rule: str
+    severity: str           # "error" | "warning" | "note"
+    module: str
+    function: str
+    lineno: int
+    message: str
+    #: Stable rule-specific identity (no line numbers): baseline key input.
+    detail: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable suppression key for this finding."""
+        raw = f"{self.rule}|{self.module}|{self.function}|{self.detail}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-stable representation (sorted keys handled by the dumper)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "module": self.module,
+            "function": self.function,
+            "lineno": self.lineno,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def sort_findings(findings) -> list:
+    """Deterministic order: module, function, severity, rule, line."""
+    return sorted(findings, key=lambda f: (
+        f.module, f.function, SEVERITY_ORDER.get(f.severity, 9),
+        f.rule, f.lineno, f.message,
+    ))

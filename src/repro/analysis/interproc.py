@@ -1,0 +1,352 @@
+"""Whole-program driver: load modules, harvest annotations, link calls.
+
+The per-module :class:`repro.core.finder.Finder` is deliberately myopic --
+one module, intra-module call graph.  :class:`Program` layers the
+whole-program view on top:
+
+* **Static annotation harvest**: ``scale_dependent`` / ``lock_protects`` /
+  ``declare_cost`` calls are read out of every module's *source* into a
+  private registry, so analysis works on packages that are never imported
+  (fixture corpora, third-party trees) and is unaffected by whatever the
+  host process happens to have registered globally.
+* **Cross-module call resolution**: ``from x import f`` aliases are
+  resolved through the loaded module set, so complexity terms and side
+  effects propagate across module boundaries.
+* **Program-wide effective terms/effects**: the same memoized DFS the
+  finder runs per module, re-run over the linked graph, honoring
+  ``declare_cost`` bridges (modeled demand charged arithmetically).
+
+Known limitation, by design: parameter-*taint* propagation stays
+intra-module (the per-module finder fixpoint); cross-module edges carry
+terms and effects.  Annotated structure names are global, which in
+practice covers the cross-module taint the model code exhibits.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..annotations import (
+    AnnotationRegistry,
+    CostAnnotation,
+    LockAnnotation,
+    ScaleDepAnnotation,
+)
+from ..core.axes import Term, maximal
+from ..core.finder import Finder, FinderReport, FunctionAnalysis
+
+_ANNOTATION_CALLS = ("scale_dependent", "lock_protects", "declare_cost")
+
+
+@dataclass
+class ModuleUnit:
+    """One analyzed module: source facts plus the finder's report."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    report: FinderReport
+    #: local alias -> (absolute module name, remote function name)
+    imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def harvest_annotations(tree: ast.Module, registry: AnnotationRegistry) -> int:
+    """Statically register annotation calls found at module top level.
+
+    Handles the call form (``scale_dependent("ring", var="T")``,
+    ``lock_protects("ring_lock", "metadata")``, ``declare_cost("f", T=2)``)
+    and the decorator form on top-level classes/functions.  Returns the
+    number of annotations registered.
+    """
+    count = 0
+    for stmt in tree.body:
+        call: Optional[ast.Call] = None
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+        if call is not None:
+            count += _harvest_call(call, registry, decorated=None)
+        if isinstance(stmt, (ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            for decorator in stmt.decorator_list:
+                if isinstance(decorator, ast.Call):
+                    count += _harvest_call(decorator, registry,
+                                           decorated=stmt.name)
+    return count
+
+
+def _harvest_call(call: ast.Call, registry: AnnotationRegistry,
+                  decorated: Optional[str]) -> int:
+    func = call.func
+    tail = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else "")
+    if tail not in _ANNOTATION_CALLS:
+        return 0
+    keywords: Dict[str, ast.AST] = {
+        kw.arg: kw.value for kw in call.keywords if kw.arg
+    }
+    note = _const_str(keywords.get("note", ast.Constant(value=""))) or ""
+    if tail == "scale_dependent":
+        axis = _const_str(keywords.get("axis",
+                                       ast.Constant(value="cluster-size")))
+        var = _const_str(keywords.get("var", ast.Constant(value=None)))
+        names = [s for s in (_const_str(a) for a in call.args)
+                 if s is not None]
+        if decorated is not None:
+            names.append(decorated)
+        for name in names:
+            registry.add_scale_dependent(ScaleDepAnnotation(
+                name, axis=axis or "cluster-size", note=note, var=var))
+        return len(names)
+    if tail == "lock_protects":
+        names = [s for s in (_const_str(a) for a in call.args)
+                 if s is not None]
+        if not names:
+            return 0
+        registry.add_lock(LockAnnotation(names[0], tuple(names[1:]),
+                                         note=note))
+        return 1
+    # declare_cost
+    funcs = [s for s in (_const_str(a) for a in call.args) if s is not None]
+    if not funcs:
+        return 0
+    degrees = {
+        key: value.value
+        for key, value in keywords.items()
+        if key not in ("note", "registry")
+        and isinstance(value, ast.Constant) and isinstance(value.value, int)
+    }
+    registry.add_cost(CostAnnotation(funcs[0], degrees, note=note))
+    return 1
+
+
+def _collect_imports(tree: ast.Module, module_name: str
+                     ) -> Dict[str, Tuple[str, str]]:
+    """Map local aliases to (absolute module, remote name) for ImportFrom."""
+    imports: Dict[str, Tuple[str, str]] = {}
+    package = module_name.rsplit(".", 1)[0] if "." in module_name else ""
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ImportFrom):
+            continue
+        if stmt.level:
+            base_parts = package.split(".") if package else []
+            # level=1 is "current package"; each extra level pops one.
+            base_parts = base_parts[:len(base_parts) - (stmt.level - 1)]
+            base = ".".join(base_parts)
+            target = f"{base}.{stmt.module}" if stmt.module else base
+        else:
+            target = stmt.module or ""
+        for alias in stmt.names:
+            local = alias.asname or alias.name
+            imports[local] = (target, alias.name)
+    return imports
+
+
+def _discover(target: str) -> List[Tuple[str, str]]:
+    """Resolve one target (module/package name or filesystem path) to
+    sorted (module_name, file_path) pairs."""
+    pairs: List[Tuple[str, str]] = []
+    if os.path.exists(target):
+        path = os.path.abspath(target)
+        if os.path.isfile(path):
+            name = os.path.splitext(os.path.basename(path))[0]
+            return [(name, path)]
+        base = os.path.basename(path.rstrip(os.sep))
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+            for fname in sorted(files):
+                if not fname.endswith(".py"):
+                    continue
+                rel = os.path.relpath(os.path.join(root, fname), path)
+                parts = [base] + rel.split(os.sep)
+                parts[-1] = parts[-1][:-3]
+                if parts[-1] == "__init__":
+                    parts = parts[:-1]
+                pairs.append((".".join(parts), os.path.join(root, fname)))
+        return pairs
+    spec = importlib.util.find_spec(target)
+    if spec is None:
+        raise ModuleNotFoundError(f"lint target not found: {target}")
+    if spec.submodule_search_locations:
+        for location in spec.submodule_search_locations:
+            for root, dirs, files in os.walk(location):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                for fname in sorted(files):
+                    if not fname.endswith(".py"):
+                        continue
+                    rel = os.path.relpath(os.path.join(root, fname), location)
+                    parts = [target] + rel.split(os.sep)
+                    parts[-1] = parts[-1][:-3]
+                    if parts[-1] == "__init__":
+                        parts = parts[:-1]
+                    pairs.append((".".join(parts), os.path.join(root, fname)))
+        return pairs
+    if spec.origin and spec.origin.endswith(".py"):
+        return [(target, spec.origin)]
+    raise ModuleNotFoundError(f"lint target has no python source: {target}")
+
+
+class Program:
+    """A linked set of analyzed modules with a shared harvested registry."""
+
+    def __init__(self, registry: AnnotationRegistry) -> None:
+        self.registry = registry
+        self.modules: Dict[str, ModuleUnit] = {}
+        self._term_memo: Dict[Tuple[str, str], Tuple[Term, ...]] = {}
+        self._effect_memo: Dict[Tuple[str, str], Set[str]] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def load(cls, targets: Sequence[str],
+             registry: Optional[AnnotationRegistry] = None) -> "Program":
+        """Load and analyze ``targets`` (module names, packages, or paths)."""
+        sources: Dict[str, Tuple[str, str]] = {}
+        for target in targets:
+            for name, path in _discover(target):
+                sources[name] = (path, "")
+        loaded: Dict[str, Tuple[str, str]] = {}
+        for name in sorted(sources):
+            path = sources[name][0]
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded[name] = (path, handle.read())
+        return cls.from_sources(
+            {name: source for name, (_path, source) in loaded.items()},
+            registry=registry,
+            paths={name: path for name, (path, _source) in loaded.items()},
+        )
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str],
+                     registry: Optional[AnnotationRegistry] = None,
+                     paths: Optional[Dict[str, str]] = None) -> "Program":
+        """Build a program from in-memory sources (used heavily by tests)."""
+        registry = registry if registry is not None else AnnotationRegistry()
+        program = cls(registry)
+        trees: Dict[str, ast.Module] = {}
+        for name in sorted(sources):
+            tree = ast.parse(sources[name])
+            trees[name] = tree
+            harvest_annotations(tree, registry)
+        finder = Finder(registry)
+        for name in sorted(sources):
+            report = finder.analyze_source(sources[name], module=name)
+            program.modules[name] = ModuleUnit(
+                name=name,
+                path=(paths or {}).get(name, f"<{name}>"),
+                tree=trees[name],
+                report=report,
+                imports=_collect_imports(trees[name], name),
+            )
+        return program
+
+    # -- call resolution -----------------------------------------------------------
+
+    def find_module(self, dotted: str) -> Optional[str]:
+        """Resolve a (possibly relative-suffix) module name to a loaded one."""
+        if dotted in self.modules:
+            return dotted
+        matches = [name for name in self.modules
+                   if name.endswith(f".{dotted}")]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def resolve_call(self, module: str, callee: str
+                     ) -> Optional[Tuple[str, str]]:
+        """Resolve a call-site name to (module, function) program-wide."""
+        unit = self.modules.get(module)
+        if unit is None:
+            return None
+        local = Finder._resolve_callee(callee, unit.report.functions)
+        if local is not None:
+            return (module, local)
+        if "." not in callee and callee in unit.imports:
+            remote_module, remote_name = unit.imports[callee]
+            resolved = self.find_module(remote_module)
+            if resolved is not None:
+                remote_unit = self.modules[resolved]
+                if remote_name in remote_unit.report.functions:
+                    return (resolved, remote_name)
+        return None
+
+    def functions(self) -> List[Tuple[str, FunctionAnalysis]]:
+        """Every analyzed function as (module, analysis), sorted."""
+        result: List[Tuple[str, FunctionAnalysis]] = []
+        for name in sorted(self.modules):
+            report = self.modules[name].report
+            for fname in sorted(report.functions):
+                result.append((name, report.functions[fname]))
+        return result
+
+    # -- program-wide inference -------------------------------------------------------
+
+    def effective_terms(self, module: str, func: str,
+                        _stack: Tuple[Tuple[str, str], ...] = ()
+                        ) -> Tuple[Term, ...]:
+        """Pareto-maximal complexity terms with cross-module linking."""
+        key = (module, func)
+        if key in self._term_memo:
+            return self._term_memo[key]
+        if key in _stack:
+            return ()
+        analysis = self.modules[module].report.functions.get(func)
+        if analysis is None:
+            return ()
+        terms: List[Term] = list(analysis.local_terms)
+        for call in analysis.calls:
+            chain_term = Term.from_chain(call.chain)
+            declared = self.registry.cost_degrees(call.callee)
+            if declared:
+                terms.append(chain_term.mul(Term.from_degrees(declared)))
+                continue
+            resolved = self.resolve_call(module, call.callee)
+            if resolved is None:
+                continue
+            for callee_term in self.effective_terms(
+                    *resolved, _stack=_stack + (key,)):
+                terms.append(chain_term.mul(callee_term))
+        result = maximal(terms)
+        self._term_memo[key] = result
+        return result
+
+    def transitive_effects(self, module: str, func: str,
+                           _stack: Tuple[Tuple[str, str], ...] = ()
+                           ) -> Set[str]:
+        """Transitive side-effect kinds with cross-module linking."""
+        key = (module, func)
+        if key in self._effect_memo:
+            return self._effect_memo[key]
+        if key in _stack:
+            return set()
+        analysis = self.modules[module].report.functions.get(func)
+        if analysis is None:
+            return set()
+        kinds = {effect.kind for effect in analysis.side_effects}
+        for call in analysis.calls:
+            resolved = self.resolve_call(module, call.callee)
+            if resolved is not None:
+                kinds |= self.transitive_effects(
+                    *resolved, _stack=_stack + (key,))
+        self._effect_memo[key] = kinds
+        return kinds
+
+    def call_edges(self) -> List[Tuple[str, str, str, str, int]]:
+        """All resolved call edges: (module, caller, callee_mod, callee, line)."""
+        edges: List[Tuple[str, str, str, str, int]] = []
+        for module, analysis in self.functions():
+            for call in analysis.calls:
+                resolved = self.resolve_call(module, call.callee)
+                if resolved is not None:
+                    edges.append((module, analysis.name, resolved[0],
+                                  resolved[1], call.lineno))
+        return edges

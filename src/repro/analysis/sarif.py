@@ -1,0 +1,80 @@
+"""Minimal SARIF 2.1.0 serialization of a lint report.
+
+Just enough of the schema for code-scanning UIs: one run, one driver,
+rule metadata, and results with logical (module.function) and physical
+(repo-relative path, line) locations.  Paths are derived from module
+names, never absolute, so output is machine-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .lint import LintReport
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+           "Schemata/sarif-schema-2.1.0.json")
+
+_RULE_DESCRIPTIONS = {
+    "scale-complexity": "Effective complexity is superlinear in a scale axis",
+    "pil-unsafe-offender": "Offending function cannot be PIL-replaced",
+    "nondeterminism": "Nondeterminism source breaks byte-identical replay",
+    "lock-held-scale-work": "Scale-dependent work while a declared lock is held",
+    "unlocked-access": "Protected structure accessed without its owning lock",
+    "complexity-drift": "Inferred complexity disagrees with the declared cost class",
+}
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def to_sarif_dict(report: LintReport) -> Dict[str, object]:
+    """SARIF 2.1.0 document for ``report`` as a plain dict."""
+    used_rules = sorted({f.rule for f in report.findings})
+    rules: List[Dict[str, object]] = [{
+        "id": rule,
+        "shortDescription": {
+            "text": _RULE_DESCRIPTIONS.get(rule, rule),
+        },
+    } for rule in used_rules]
+    rule_index = {rule: i for i, rule in enumerate(used_rules)}
+    results: List[Dict[str, object]] = []
+    for finding in report.findings:
+        uri = "src/" + finding.module.replace(".", "/") + ".py"
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "partialFingerprints": {
+                "reproLint/v1": finding.fingerprint,
+            },
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": finding.lineno},
+                },
+                "logicalLocations": [{
+                    "fullyQualifiedName":
+                        f"{finding.module}.{finding.function}",
+                }],
+            }],
+        })
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def to_sarif(report: LintReport) -> str:
+    """Deterministic SARIF text."""
+    return json.dumps(to_sarif_dict(report), indent=2, sort_keys=True) + "\n"

@@ -8,15 +8,25 @@ function finder, the auto-instrumenter) keys off these annotations.
 Two annotation surfaces are provided:
 
 * :func:`scale_dependent` -- decorator/marker for classes, functions, or
-  named attributes whose size grows with the cluster;
+  named attributes whose size grows with the cluster; an optional ``var``
+  names the symbolic scale variable (``N`` nodes, ``T`` ring tokens, ``M``
+  in-flight changes, ``B`` blocks) so the analysis can report closed-form
+  labels like ``O(M·N^3)`` instead of a generic depth count;
 * :func:`pil_safe` / :func:`pil_unsafe` -- explicit overrides for the
   finder's PIL-safety analysis (the analysis is conservative; a developer
   can assert safety for a function whose side effects are benign, or veto a
-  function the analysis would otherwise replace).
+  function the analysis would otherwise replace);
+* :func:`lock_protects` -- declares which lock owns a shared structure, the
+  input the :mod:`repro.analysis` lock-discipline checker keys off;
+* :func:`declare_cost` -- declares the modeled complexity of a cost-model
+  function (e.g. ``calc_cost``), bridging the static analysis to virtual
+  CPU demand that is charged arithmetically rather than looped.
 
 Annotations are recorded in a process-global :class:`AnnotationRegistry` so
 the AST-based finder can resolve names to annotations without importing
-target modules' runtime state.
+target modules' runtime state.  The whole-program analyzer additionally
+harvests these same calls *statically* from module source, so annotation
+registration works even for modules that are never imported.
 """
 
 from __future__ import annotations
@@ -34,6 +44,33 @@ class ScaleDepAnnotation:
     name: str                     # qualified name or attribute name
     axis: str = "cluster-size"    # which axis of scale: cluster-size, data, load
     note: str = ""
+    #: Symbolic scale variable (``"N"``, ``"T"``, ``"M"``, ``"B"``...).
+    #: ``None`` means the axis is unnamed and complexity labels fall back
+    #: to the generic ``O(N^depth)`` form.
+    var: Optional[str] = None
+
+
+@dataclass
+class LockAnnotation:
+    """Declares that ``lock`` owns ``structures`` (attribute names)."""
+
+    lock: str
+    structures: tuple
+    note: str = ""
+
+
+@dataclass
+class CostAnnotation:
+    """Declared complexity of a cost-model function, as axis-var degrees.
+
+    ``declare_cost("calc_cost", M=1, T=2)`` says every call to ``calc_cost``
+    charges virtual CPU demand growing as M·T² even though the charge is
+    arithmetic (``changes * tokens ** 2``) and invisible to loop analysis.
+    """
+
+    func: str
+    degrees: Dict[str, int]
+    note: str = ""
 
 
 class AnnotationRegistry:
@@ -43,6 +80,8 @@ class AnnotationRegistry:
         self._scale_dep: Dict[str, ScaleDepAnnotation] = {}
         self._pil_safe: Set[str] = set()
         self._pil_unsafe: Set[str] = set()
+        self._locks: Dict[str, LockAnnotation] = {}
+        self._costs: Dict[str, CostAnnotation] = {}
 
     # -- registration ----------------------------------------------------------
 
@@ -59,6 +98,14 @@ class AnnotationRegistry:
         """Record a developer veto: ``qualname`` must not take the PIL."""
         self._pil_unsafe.add(qualname)
         self._pil_safe.discard(qualname)
+
+    def add_lock(self, annotation: LockAnnotation) -> None:
+        """Register a lock-ownership declaration."""
+        self._locks[annotation.lock] = annotation
+
+    def add_cost(self, annotation: CostAnnotation) -> None:
+        """Register a declared-cost annotation for a cost-model function."""
+        self._costs[annotation.func] = annotation
 
     # -- queries -----------------------------------------------------------------
 
@@ -79,6 +126,18 @@ class AnnotationRegistry:
             return self._scale_dep[name]
         return self._scale_dep.get(name.rsplit(".", 1)[-1])
 
+    def axis_vars_for(self, name: str) -> frozenset:
+        """The named scale variables for ``name`` as a frozenset.
+
+        Empty frozenset means the name is annotated but its axis is
+        unnamed (the ``O(N^depth)`` fallback); callers must use
+        :meth:`is_scale_dependent` to distinguish "unannotated".
+        """
+        annotation = self.annotation_for(name)
+        if annotation is None or annotation.var is None:
+            return frozenset()
+        return frozenset((annotation.var,))
+
     def pil_safety_override(self, qualname: str) -> Optional[bool]:
         """Explicit developer verdict for ``qualname``, if any."""
         if qualname in self._pil_safe:
@@ -87,20 +146,46 @@ class AnnotationRegistry:
             return False
         return None
 
+    def lock_for(self, structure: str) -> Optional[str]:
+        """The lock declared to protect attribute ``structure``, or None."""
+        tail = structure.rsplit(".", 1)[-1]
+        for annotation in self._locks.values():
+            if tail in annotation.structures:
+                return annotation.lock
+        return None
+
+    def lock_annotations(self) -> List[LockAnnotation]:
+        """All lock declarations, sorted by lock name."""
+        return [self._locks[k] for k in sorted(self._locks)]
+
+    def cost_degrees(self, func: str) -> Optional[Dict[str, int]]:
+        """Declared axis degrees for cost-model function ``func``, or None."""
+        annotation = self._costs.get(func)
+        if annotation is None:
+            annotation = self._costs.get(func.rsplit(".", 1)[-1])
+        return dict(annotation.degrees) if annotation else None
+
     def clear(self) -> None:
         """Reset all annotations (used by tests)."""
         self._scale_dep.clear()
         self._pil_safe.clear()
         self._pil_unsafe.clear()
+        self._locks.clear()
+        self._costs.clear()
 
 
 #: The default process-global registry.
 REGISTRY = AnnotationRegistry()
 
 
-def scale_dependent(*names: str, axis: str = "cluster-size",
-                    note: str = "", registry: AnnotationRegistry = REGISTRY):
+def scale_dependent(*names: str, axis: str = "cluster-size", note: str = "",
+                    var: Optional[str] = None,
+                    registry: AnnotationRegistry = REGISTRY):
     """Mark data structures as scale-dependent.
+
+    ``var`` optionally names the symbolic scale variable all ``names`` in
+    this call share (``var="T"`` for ring-token tables, ``var="B"`` for
+    block maps).  Use separate calls to give structures distinct variables.
 
     Usable three ways::
 
@@ -113,21 +198,48 @@ def scale_dependent(*names: str, axis: str = "cluster-size",
         class Ring: ...
     """
     for name in names:
-        registry.add_scale_dependent(ScaleDepAnnotation(name, axis=axis, note=note))
+        registry.add_scale_dependent(
+            ScaleDepAnnotation(name, axis=axis, note=note, var=var))
 
     def decorate(obj):
         """Decorate."""
         qualname = getattr(obj, "__qualname__", getattr(obj, "__name__", str(obj)))
-        registry.add_scale_dependent(ScaleDepAnnotation(qualname, axis=axis, note=note))
+        registry.add_scale_dependent(
+            ScaleDepAnnotation(qualname, axis=axis, note=note, var=var))
         bare = getattr(obj, "__name__", None)
         if bare and bare != qualname:
             # Also register the bare name: the AST finder sees unqualified
             # identifiers, and locally-defined classes carry nested
             # qualnames ("outer.<locals>.Ring").
-            registry.add_scale_dependent(ScaleDepAnnotation(bare, axis=axis, note=note))
+            registry.add_scale_dependent(
+                ScaleDepAnnotation(bare, axis=axis, note=note, var=var))
         return obj
 
     return decorate
+
+
+def lock_protects(lock: str, *structures: str, note: str = "",
+                  registry: AnnotationRegistry = REGISTRY) -> None:
+    """Declare that attribute ``lock`` owns the shared ``structures``.
+
+    The lock-discipline checker flags any read/write of a protected
+    structure on a code path where the owning lock is not held, and any
+    scale-dependent work performed *while* it is held (the C5456 pattern).
+    """
+    registry.add_lock(LockAnnotation(lock, tuple(structures), note=note))
+
+
+def declare_cost(func: str, note: str = "",
+                 registry: AnnotationRegistry = REGISTRY,
+                 **degrees: int) -> None:
+    """Declare the modeled complexity of cost function ``func``.
+
+    Degrees are axis-var exponents: ``declare_cost("calc_cost", M=1, T=2)``
+    means each call costs O(M·T²) virtual CPU time.  The interprocedural
+    analyzer treats a call to ``func`` as carrying these degrees even
+    though the demand is charged arithmetically, not looped.
+    """
+    registry.add_cost(CostAnnotation(func, dict(degrees), note=note))
 
 
 def pil_safe(func: F, registry: AnnotationRegistry = REGISTRY) -> F:

@@ -1,0 +1,309 @@
+"""Literal implementations of every historical calculator variant.
+
+:mod:`repro.cassandra.pending_ranges` charges each variant's cost
+*arithmetically* (``calc_cost``), so its loop structure is invisible to
+static analysis.  This module is the loop-literal counterpart: one
+function per historical variant, written with exactly the loop shape the
+bug reports describe, serving as the program-analysis corpus for the
+interprocedural complexity inference in :mod:`repro.analysis`:
+
+* :func:`calc_v0_c3831` -- the pre-3831 code: per change, rebuild the full
+  replica map with *space-oblivious* scans (the successor of a token is
+  re-found by scanning the unsorted token list at every step of every
+  walk), O(M·N^3) in physical nodes N.
+* :func:`calc_v1_c3881` -- the 3831 fix: sorted ring and bisect
+  placement, but still a full distinct-owner walk per boundary, O(M·T^2)
+  in ring tokens T; with vnodes T = N*P, which is CASSANDRA-3881.
+* :func:`calc_v2_vnode_fix` -- the 3881 redesign: one reverse pass
+  maintains the next-rf-distinct-owners window for every boundary,
+  O(M·T).
+* :func:`calc_v3_bootstrap_c6127` -- the branch-guarded fresh-bootstrap
+  construction (CASSANDRA-6127), O(M·T^2), reached only when a cluster
+  bootstraps from scratch.
+
+All variants compute the same quantity -- per endpoint, how many
+(change, boundary-range) pairs it newly replicates -- so small-scale
+differential tests can check v0 == v1 == v2 exactly, the property that
+made the historical fixes possible.  Like :mod:`repro.cassandra.legacy_calc`,
+the inefficiencies here are the point; do not "fix" them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..annotations import scale_dependent
+from .pending_ranges import CalculatorVariant
+
+Change = Tuple[int, str]
+
+scale_dependent(
+    "physical_ring",
+    var="N",
+    note="pre-vnode physical node ring (one token per node)",
+)
+scale_dependent(
+    "vnode_ring",
+    var="T",
+    note="vnode token ring: T = N*P entries",
+)
+scale_dependent(
+    "pending_change_list",
+    var="M",
+    note="in-flight membership change batch (one gossip round)",
+)
+
+#: Which modeled cost variant each corpus function reproduces; the drift
+#: checker compares inferred terms against the variant's declared degrees.
+VARIANT_OF = {
+    "calc_v0_c3831": CalculatorVariant.V0_C3831,
+    "calc_v1_c3881": CalculatorVariant.V1_C3881,
+    "calc_v2_vnode_fix": CalculatorVariant.V2_VNODE_FIX,
+    "calc_v3_bootstrap_c6127": CalculatorVariant.V3_BOOTSTRAP_C6127,
+}
+
+
+# -- v0: pre-3831, physical ring, space-oblivious scans -------------------------
+
+def calc_v0_c3831(physical_ring: List[int], physical_owners: List[str],
+                  pending_change_list: List[Change], rf: int
+                  ) -> Dict[str, int]:
+    """Per change, re-derive every boundary's replicas by raw scans: O(M·N^3)."""
+    pending: Dict[str, int] = {}
+    for change in pending_change_list:
+        future_ring, future_owners = _v0_apply_change(
+            physical_ring, physical_owners, change)
+        for index in range(len(future_ring)):
+            boundary = future_ring[index]
+            future_replicas = _v0_replicas(
+                future_ring, future_owners, boundary, rf)
+            current_replicas = _v0_replicas(
+                physical_ring, physical_owners, boundary, rf)
+            for endpoint in future_replicas:
+                if endpoint not in current_replicas:
+                    pending[endpoint] = pending.get(endpoint, 0) + 1
+    return pending
+
+
+def _v0_apply_change(tokens: List[int], owners: List[str],
+                     change: Change) -> Tuple[List[int], List[str]]:
+    """Future ring after one join, by full copy (order not maintained)."""
+    token, endpoint = change
+    future_tokens: List[int] = []
+    future_owners: List[str] = []
+    for index in range(len(tokens)):
+        future_tokens.append(tokens[index])
+        future_owners.append(owners[index])
+    future_tokens.append(token)
+    future_owners.append(endpoint)
+    return future_tokens, future_owners
+
+
+def _v0_replicas(tokens: List[int], owners: List[str], start_token: int,
+                 rf: int) -> List[str]:
+    """First ``rf`` distinct owners clockwise from ``start_token``.
+
+    Space-oblivious: the ring is an *unsorted* list, so every step of the
+    walk re-finds the next token by scanning the whole list -- the O(N)
+    inner scan inside an O(N) walk that made the original calculation
+    cubic per change.
+    """
+    if not tokens:
+        return []
+    replicas: List[str] = []
+    cursor: Optional[int] = None
+    for _step in range(len(tokens)):
+        if cursor is None:
+            cursor = _v0_at_or_after(tokens, start_token)
+        else:
+            cursor = _v0_next_token(tokens, cursor)
+        owner = _v0_owner_of(tokens, owners, cursor)
+        if owner not in replicas:
+            replicas.append(owner)
+        if len(replicas) == rf:
+            break
+    return replicas
+
+
+def _v0_at_or_after(tokens: List[int], token: int) -> int:
+    """Smallest ring token >= ``token`` (wrapping), by linear scan."""
+    best: Optional[int] = None
+    lowest: Optional[int] = None
+    for candidate in tokens:
+        if lowest is None or candidate < lowest:
+            lowest = candidate
+        if candidate >= token and (best is None or candidate < best):
+            best = candidate
+    return best if best is not None else int(lowest or 0)
+
+
+def _v0_next_token(tokens: List[int], current: int) -> int:
+    """Smallest ring token strictly > ``current`` (wrapping), by scan."""
+    best: Optional[int] = None
+    lowest: Optional[int] = None
+    for candidate in tokens:
+        if lowest is None or candidate < lowest:
+            lowest = candidate
+        if candidate > current and (best is None or candidate < best):
+            best = candidate
+    return best if best is not None else int(lowest or 0)
+
+
+def _v0_owner_of(tokens: List[int], owners: List[str], token: int) -> str:
+    """Owner of ``token``, by scanning the parallel lists."""
+    for index in range(len(tokens)):
+        if tokens[index] == token:
+            return owners[index]
+    raise KeyError(token)
+
+
+# -- v1: the 3831 fix -- sorted ring, bisect, but full walks --------------------
+
+def calc_v1_c3881(vnode_ring: List[int], vnode_owners: List[str],
+                  pending_change_list: List[Change], rf: int
+                  ) -> Dict[str, int]:
+    """Sorted-ring recomputation, one full walk per boundary: O(M·T^2).
+
+    Correct and fast on 1-token-per-node rings; with vnodes the token
+    population multiplies by P and the same code is CASSANDRA-3881.
+    """
+    pending: Dict[str, int] = {}
+    for change in pending_change_list:
+        future_ring, future_owners = _v1_insert_sorted(
+            vnode_ring, vnode_owners, change)
+        for index in range(len(future_ring)):
+            boundary = future_ring[index]
+            future_replicas = _v1_replicas(
+                future_ring, future_owners, boundary, rf)
+            current_replicas = _v1_replicas(
+                vnode_ring, vnode_owners, boundary, rf)
+            for endpoint in future_replicas:
+                if endpoint not in current_replicas:
+                    pending[endpoint] = pending.get(endpoint, 0) + 1
+    return pending
+
+
+def _v1_insert_sorted(tokens: List[int], owners: List[str],
+                      change: Change) -> Tuple[List[int], List[str]]:
+    """Future ring after one join, keeping sort order (bisect + splice)."""
+    token, endpoint = change
+    position = _v1_bisect(tokens, token)
+    future_tokens = list(tokens[:position]) + [token] + list(tokens[position:])
+    future_owners = (list(owners[:position]) + [endpoint]
+                     + list(owners[position:]))
+    return future_tokens, future_owners
+
+
+def _v1_bisect(tokens: List[int], token: int) -> int:
+    """Index of the first token >= ``token`` (len(tokens) if none)."""
+    lo, hi = 0, len(tokens)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if tokens[mid] < token:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+def _v1_replicas(tokens: List[int], owners: List[str], start_token: int,
+                 rf: int) -> List[str]:
+    """First ``rf`` distinct owners clockwise, walking by index.
+
+    The placement lookup is a bisect, but collecting rf *distinct* owners
+    still walks up to the whole ring when neighboring vnodes share owners.
+    """
+    if not tokens:
+        return []
+    start = _v1_bisect(tokens, start_token) % len(tokens)
+    replicas: List[str] = []
+    for step in range(len(tokens)):
+        owner = owners[(start + step) % len(tokens)]
+        if owner not in replicas:
+            replicas.append(owner)
+        if len(replicas) == rf:
+            break
+    return replicas
+
+
+# -- v2: the 3881 redesign -- one reverse pass per ring -------------------------
+
+def calc_v2_vnode_fix(vnode_ring: List[int], vnode_owners: List[str],
+                      pending_change_list: List[Change], rf: int
+                      ) -> Dict[str, int]:
+    """Single-pass replica maps, constant work per boundary: O(M·T)."""
+    pending: Dict[str, int] = {}
+    for change in pending_change_list:
+        future_ring, future_owners = _v1_insert_sorted(
+            vnode_ring, vnode_owners, change)
+        future_map = _v2_replica_map(future_ring, future_owners, rf)
+        current_map = _v2_replica_map(vnode_ring, vnode_owners, rf)
+        for index in range(len(future_ring)):
+            boundary = future_ring[index]
+            future_replicas = future_map[boundary]
+            current_replicas = _v2_lookup(vnode_ring, current_map, boundary)
+            for endpoint in future_replicas:
+                if endpoint not in current_replicas:
+                    pending[endpoint] = pending.get(endpoint, 0) + 1
+    return pending
+
+
+def _v2_replica_map(tokens: List[int], owners: List[str], rf: int
+                    ) -> Dict[int, List[str]]:
+    """Replicas of *every* boundary in one reverse pass.
+
+    Walking the ring counterclockwise, a window of the next-rf-distinct
+    owners ahead is maintained: prepend the current owner, drop its older
+    duplicate, truncate to rf.  Two laps warm the window across the wrap.
+    Window updates are rf-bounded, so the whole map is O(T·rf).
+    """
+    result: Dict[int, List[str]] = {}
+    if not tokens:
+        return result
+    count = len(tokens)
+    window: List[str] = []
+    for position in range(2 * len(tokens) - 1, -1, -1):
+        owner = owners[position % count]
+        refreshed = [owner]
+        for seen in window:
+            if seen != owner:
+                refreshed.append(seen)
+        window = refreshed[:rf]
+        if position < count:
+            result[tokens[position]] = list(window)
+    return result
+
+
+def _v2_lookup(tokens: List[int], replica_map: Dict[int, List[str]],
+               boundary: int) -> List[str]:
+    """Replicas of an arbitrary boundary: the at-or-after ring token's."""
+    if not tokens:
+        return []
+    position = _v1_bisect(tokens, boundary) % len(tokens)
+    return replica_map[tokens[position]]
+
+
+# -- v3: the C6127 fresh-bootstrap construction ---------------------------------
+
+def calc_v3_bootstrap_c6127(vnode_ring: List[int], vnode_owners: List[str],
+                            pending_change_list: List[Change], rf: int,
+                            fresh_bootstrap: bool = True) -> Dict[str, int]:
+    """Branch-guarded fresh ring construction: O(M·T^2).
+
+    When a cluster bootstraps from scratch there is no current ring to
+    diff against, so every boundary's full replica set is pending -- and
+    the historical code walked each one out with v1-style scans.  The
+    guard is the point: only a bootstrap-from-scratch workload reaches
+    the expensive path (the paper's C6127 narrative).
+    """
+    pending: Dict[str, int] = {}
+    if fresh_bootstrap:
+        for change in pending_change_list:
+            future_ring, future_owners = _v1_insert_sorted(
+                vnode_ring, vnode_owners, change)
+            for index in range(len(future_ring)):
+                boundary = future_ring[index]
+                replicas = _v1_replicas(
+                    future_ring, future_owners, boundary, rf)
+                for endpoint in replicas:
+                    pending[endpoint] = pending.get(endpoint, 0) + 1
+    return pending

@@ -33,15 +33,24 @@ from .tokens import TokenRange
 
 # Step (a) of the paper's workflow: the developer annotates the structures
 # whose size tracks cluster scale.  This is the complete annotation set for
-# the Cassandra model -- well under the paper's <30 LOC budget.
+# the Cassandra model -- well under the paper's <30 LOC budget.  Each call
+# names the symbolic scale variable so the analysis reports closed-form
+# labels (T ring tokens, M in-flight changes, N cluster nodes) instead of
+# collapsing every axis to a generic N.
 scale_dependent(
     "token_to_endpoint",
     "bootstrap_tokens",
+    var="T",
+    note="ring table membership state (TokenMetadata); T = N*P with vnodes",
+)
+scale_dependent(
     "leaving_endpoints",
-    note="ring table membership state (TokenMetadata)",
+    var="M",
+    note="in-flight membership changes (moving/leaving nodes)",
 )
 scale_dependent(
     "endpoint_state_map",
+    var="N",
     note="gossip endpoint state map (Gossiper)",
 )
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..annotations import lock_protects
 from ..sim.cpu import CpuModel
 from ..sim.kernel import Acquire, Channel, Compute, Get, Simulator, Timeout
 from ..sim.network import Message, Network
@@ -51,6 +52,15 @@ from .state import (
     blob_entry_count,
 )
 from .tokens import TokenRange
+
+# Lock-discipline declaration (input to the repro.analysis checker): the
+# ring lock owns the node's ring table.  The C5456 coarse-lock bug is
+# "scale-dependent work while ring_lock is held"; intentional unlocked
+# accesses (the LockMode.NONE era, init-time announcements, and the
+# modeled CLONE calculation that reads live metadata where the real fix
+# reads a clone) are carried in the lint baseline, not silenced here.
+lock_protects("ring_lock", "metadata",
+              note="ring table (TokenMetadata) ownership, C5456 seam")
 
 
 @dataclass

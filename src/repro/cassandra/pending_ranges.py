@@ -34,8 +34,18 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List
 
+from ..annotations import declare_cost
 from .ring import TokenMetadata
 from .tokens import TokenRange
+
+# Cost-model bridge for the static analysis: calc_cost charges virtual CPU
+# demand arithmetically (``m * tokens ** 2``), which loop analysis cannot
+# see.  The declaration carries the *worst* modeled variant's degrees
+# (V1/V3: O(M·T^2)) so any caller invoking the calculation under a lock is
+# attributed scale-dependent work.  Per-variant drift checking against the
+# exact formulas lives in :mod:`repro.analysis.drift`.
+declare_cost("calc_cost", M=1, T=2,
+             note="modeled pending-range calculation demand (worst variant)")
 
 
 def compute_pending_ranges(metadata: TokenMetadata, rf: int) -> Dict[str, List[TokenRange]]:

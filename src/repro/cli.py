@@ -10,6 +10,9 @@ Commands map one-to-one onto the library's main entry points:
                     scale-doctor's ranked bottleneck report;
 * ``finder``     -- run the offending-function finder over the calculation
                     corpus (or any importable module) and print the report;
+* ``lint``       -- run the whole-program scalability linter (complexity,
+                    PIL-safety, lock discipline, determinism, cost-model
+                    drift) with baseline suppression and SARIF/JSON output;
 * ``figure3``    -- regenerate one Figure 3 panel (flaps vs scale);
 * ``sweep``      -- run a declarative (bug, scale, seed, mode, chaos) grid
                     through the parallel sweep engine with a persistent
@@ -190,6 +193,38 @@ def _cmd_finder(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import run_lint, to_sarif, write_baseline
+    from .obs import record_lint_findings
+
+    report = run_lint(
+        targets=args.targets,
+        baseline_path=args.baseline,
+        with_self_check=args.self_check,
+    )
+    if args.write_baseline:
+        write_baseline(args.baseline, report.raw_findings)
+        print(f"baseline with {len(report.raw_findings)} suppression(s) "
+              f"written to {args.baseline}")
+        return 0
+    record_lint_findings(report.findings, suppressed=report.suppressed)
+    if args.format == "json":
+        output = report.to_json()
+    elif args.format == "sarif":
+        output = to_sarif(report)
+    else:
+        output = report.to_text()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"{args.format} report written to {args.out}")
+    else:
+        print(output, end="")
+    if args.self_check and not report.self_check_ok:
+        return 2
+    return 1 if report.findings else 0
+
+
 def _cmd_figure3(args: argparse.Namespace) -> int:
     scales = args.scales or calibrate.figure3_scales()
     print(f"running {args.bug} at scales {scales} "
@@ -338,6 +373,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="importable module to analyze "
                              "(default: the Cassandra calculation corpus)")
     finder.set_defaults(func=_cmd_finder)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the whole-program scalability linter over annotated "
+             "packages (complexity, PIL-safety, lock discipline, drift)")
+    lint.add_argument("--targets", nargs="+",
+                      default=["repro.cassandra", "repro.hdfs"],
+                      help="module/package names or source paths to analyze")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"])
+    lint.add_argument("--out", default=None,
+                      help="write the report to this file instead of stdout")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      help="baseline-suppression file (known findings)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record every current finding as suppressed "
+                           "and exit")
+    lint.add_argument("--self-check", action="store_true",
+                      help="assert the analyzer rediscovers the historical "
+                           "bug paths (C3831/C3881/C5456/C6127, HDFS O(B)); "
+                           "exit 2 on failure")
+    lint.set_defaults(func=_cmd_lint)
 
     figure3 = sub.add_parser("figure3", help="regenerate a Figure 3 panel")
     figure3.add_argument("--bug", default="c3831",

@@ -1,0 +1,124 @@
+"""Symbolic complexity terms over named scale axes.
+
+The finder's original output was a single integer (effective loop depth),
+rendered as ``O(N^depth)``.  That collapses every scale axis to a generic
+``N``: an ``O(N·NP)`` nest (nodes x vnodes) and an ``O(N^2)`` nest look
+identical, and the C6127 path -- ``O(M·T^2)`` in moving nodes M and ring
+tokens T -- is indistinguishable from plain quadratic work.
+
+A :class:`Term` is a monomial over named axis variables: a map from axis
+var to exponent, e.g. ``{M: 1, N: 3}`` rendered ``O(M·N^3)``.  The empty
+axis name ``""`` stands for a scale-dependent structure whose annotation
+carries no ``var=``; a term made only of unnamed axes renders in the old
+``O(N^depth)`` form so unannotated code keeps its historical labels.
+
+Because terms over different axes are incomparable (``O(T^2)`` vs
+``O(M·T)`` -- which dominates depends on how T and M grow), a function's
+effective complexity is a *set* of Pareto-maximal terms, not one number.
+:func:`maximal` prunes dominated terms; :func:`primary` picks a
+deterministic headline term (max total degree, ties broken textually) for
+one-line labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+#: Axis name used for scale-dependent structures with no ``var=`` annotation.
+UNNAMED = ""
+
+
+def level_axis(axes: Iterable[str]) -> str:
+    """Collapse one loop level's axis-var set to a single factor name.
+
+    A loop iterating a structure tainted by several axes (e.g. a merged
+    current+future ring sized T and M) contributes one multiplicative
+    factor whose size is the *sum* of the axes: ``"M+T"``.
+    """
+    names = sorted(a for a in axes if a)
+    if not names:
+        return UNNAMED
+    return "+".join(names)
+
+
+@dataclass(frozen=True)
+class Term:
+    """One complexity monomial: sorted (axis, exponent) pairs."""
+
+    degrees: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def from_degrees(mapping: Mapping[str, int]) -> "Term":
+        """Build a term from an axis->exponent mapping (zero degrees dropped)."""
+        items = tuple(sorted((axis, int(deg)) for axis, deg in mapping.items()
+                             if int(deg) > 0))
+        return Term(items)
+
+    @staticmethod
+    def from_chain(chain: Sequence[Iterable[str]]) -> "Term":
+        """Build a term from a loop-nest chain (one axis-var set per level)."""
+        counts: Dict[str, int] = {}
+        for axes in chain:
+            axis = level_axis(axes)
+            counts[axis] = counts.get(axis, 0) + 1
+        return Term.from_degrees(counts)
+
+    def as_dict(self) -> Dict[str, int]:
+        """The degrees as a plain dict."""
+        return dict(self.degrees)
+
+    def mul(self, other: "Term") -> "Term":
+        """Product of two monomials (exponents add)."""
+        combined = self.as_dict()
+        for axis, deg in other.degrees:
+            combined[axis] = combined.get(axis, 0) + deg
+        return Term.from_degrees(combined)
+
+    def total(self) -> int:
+        """Total polynomial degree (the old integer depth)."""
+        return sum(deg for _axis, deg in self.degrees)
+
+    def dominates(self, other: "Term") -> bool:
+        """True when this term is at least ``other`` on every axis, and larger
+        somewhere -- i.e. ``other`` is redundant in a Pareto set."""
+        if self == other:
+            return False
+        mine = self.as_dict()
+        for axis, deg in other.degrees:
+            if mine.get(axis, 0) < deg:
+                return False
+        return True
+
+    def render(self) -> str:
+        """Closed-form label, e.g. ``O(M·N^3)``; unnamed-only -> ``O(N^d)``."""
+        if not self.degrees:
+            return "O(1)"
+        only_unnamed = all(axis == UNNAMED for axis, _deg in self.degrees)
+        parts = []
+        for axis, deg in self.degrees:
+            if axis == UNNAMED:
+                label = "N" if only_unnamed else "X"
+            else:
+                label = f"({axis})" if "+" in axis else axis
+            parts.append(label if deg == 1 else f"{label}^{deg}")
+        return "O(" + "·".join(parts) + ")"
+
+
+def maximal(terms: Iterable[Term], cap: int = 8) -> Tuple[Term, ...]:
+    """Pareto-maximal subset, deterministically ordered, size-capped."""
+    unique = {t for t in terms if t.degrees}
+    kept = [t for t in unique
+            if not any(other.dominates(t) for other in unique)]
+    kept.sort(key=lambda t: (-t.total(), t.render()))
+    return tuple(kept[:cap])
+
+
+def primary(terms: Sequence[Term]) -> Optional[Term]:
+    """Deterministic headline term: max (total degree, rendered label)."""
+    best: Optional[Term] = None
+    for term in terms:
+        if best is None or (term.total(), term.render()) > (best.total(),
+                                                            best.render()):
+            best = term
+    return best

@@ -14,13 +14,28 @@ An AST-based program analysis that answers the paper's two questions:
    developers know which workload exercises it (6127 again: the O(N^2)
    loop only runs when the cluster bootstraps from scratch).
 
+   Taint carries the annotation's *named axis variable* (``var="T"``,
+   ``var="M"``...), so a nest over two different structures reports
+   ``O(M·T)``, distinguishable from ``O(T^2)``.  A function's effective
+   complexity is a Pareto-maximal set of :class:`repro.core.axes.Term`
+   monomials; the scalar ``effective_depth`` (max total degree) is kept
+   for the footnote-1 categorization and backward compatibility.
+
 2. **Which functions are PIL-safe?**  Functions with no side effects --
    no I/O, network sends, locking, blocking, global writes, or
    nondeterminism -- in themselves or anything they call, and a memoizable
-   (deterministic, value-returning) shape.  Writes through parameters are
-   reported as warnings rather than vetoes: they are safe when the mutated
-   structure is call-local, which the developer confirms (the paper keeps
-   the developer in the loop at exactly this point).
+   (deterministic, value-returning) shape.  Generator functions are never
+   memoizable: their "return value" is a lazily-consumed protocol object,
+   so a yield anywhere is an absolute veto that even a registry override
+   cannot lift.  Writes through parameters are reported as warnings rather
+   than vetoes: they are safe when the mutated structure is call-local,
+   which the developer confirms (the paper keeps the developer in the loop
+   at exactly this point).  The effect analysis tracks aliases of ``self``
+   attributes and parameters (mutating an alias is mutating the original),
+   container-mutation method calls (``.append``/``.update``/``.sort``...),
+   closure captures by nested functions, and nondeterminism sources
+   including set iteration order (hash-seed dependent across processes,
+   which breaks the sweep cache's byte-identical-replay guarantee).
 
 The paper's footnote 1 split is also computed: offenders are categorized
 as scale-dependent CPU computation (depth >= 2) versus serialized O(N)
@@ -34,9 +49,10 @@ import ast
 import inspect
 import textwrap
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..annotations import REGISTRY, AnnotationRegistry
+from .axes import Term, maximal, primary
 
 # -- side-effect classification tables -----------------------------------------
 
@@ -49,12 +65,17 @@ BLOCKING_HINTS = {"sleep", "wait", "join_thread"}
 NONDET_HINTS = {"time", "perf_counter", "monotonic", "now", "random",
                 "randint", "uniform", "choice", "shuffle", "sample", "gauss",
                 "urandom", "getrandbits", "random_stream"}
+#: Methods that mutate their receiver in place.
+MUTATING_METHODS = {"append", "add", "update", "extend", "insert", "remove",
+                    "discard", "pop", "popitem", "clear", "setdefault",
+                    "sort", "reverse", "appendleft", "extendleft"}
 #: Builtins that reduce a collection to a scalar: results are not tainted.
 SCALAR_BUILTINS = {"len", "sum", "min", "max", "any", "all", "count", "index"}
 #: Side-effect kinds that veto PIL safety when present (directly or
 #: transitively).  Parameter mutation is a warning, not a veto.
 VETO_KINDS = ("io", "network", "lock", "blocking", "nondeterminism",
-              "global-write", "state-write")
+              "global-write", "state-write", "iteration-order",
+              "closure-capture")
 
 
 @dataclass(frozen=True)
@@ -65,6 +86,7 @@ class ScaleLoop:
     depth: int                 # scale-loop nesting level (1 = outermost)
     iterates: str              # source text of the iterated expression
     guards: Tuple[str, ...]    # enclosing if-conditions
+    axes: Tuple[str, ...] = ()  # named axis vars of the iterated structure
 
 
 @dataclass(frozen=True)
@@ -81,6 +103,11 @@ class CallSite:
     scale_loop_depth: int      # scale loops enclosing the call
     tainted_args: Tuple[int, ...]
     guards: Tuple[str, ...]
+    #: Axis vars per tainted arg, aligned with ``tainted_args``.
+    tainted_arg_axes: Tuple[Tuple[str, ...], ...] = ()
+    #: Axis vars per enclosing scale loop, outermost first
+    #: (``len(chain) == scale_loop_depth``).
+    chain: Tuple[Tuple[str, ...], ...] = ()
 
 
 @dataclass
@@ -97,9 +124,13 @@ class FunctionAnalysis:
     calls: List[CallSite] = field(default_factory=list)
     params: List[str] = field(default_factory=list)
     tainted_params: Set[str] = field(default_factory=set)
+    param_axes: Dict[str, FrozenSet[str]] = field(default_factory=dict)
     returns_value: bool = False
+    is_generator: bool = False
     local_depth: int = 0
     effective_depth: int = 0
+    local_terms: Tuple[Term, ...] = ()
+    effective_terms: Tuple[Term, ...] = ()
     transitive_effect_kinds: Set[str] = field(default_factory=set)
 
     @property
@@ -117,7 +148,14 @@ class FunctionAnalysis:
         return "scale-independent"
 
     def pil_safe(self, registry: AnnotationRegistry = REGISTRY) -> bool:
-        """PIL-safety verdict (registry overrides beat analysis)."""
+        """PIL-safety verdict (registry overrides beat analysis).
+
+        The generator veto is absolute and precedes overrides: replaying a
+        memoized value cannot reproduce lazy-iteration semantics, so a
+        ``yield``-ing function is unsafe no matter what a developer asserts.
+        """
+        if self.is_generator:
+            return False
         override = registry.pil_safety_override(self.qualname)
         if override is not None:
             return override
@@ -127,10 +165,17 @@ class FunctionAnalysis:
 
     @property
     def complexity(self) -> str:
-        """Big-O label derived from the effective loop depth."""
+        """Big-O label: the primary effective term, or the depth fallback."""
+        term = primary(self.effective_terms)
+        if term is not None:
+            return term.render()
         if self.effective_depth == 0:
             return "O(1)"
         return f"O(N^{self.effective_depth})"
+
+    def complexity_terms(self) -> List[str]:
+        """All Pareto-maximal effective terms, rendered."""
+        return [term.render() for term in self.effective_terms]
 
     def guard_conditions(self) -> List[str]:
         """All distinct branch conditions guarding this function's loops."""
@@ -155,139 +200,249 @@ class _FunctionScanner:
             params=[arg.arg for arg in node.args.args
                     if arg.arg not in ("self", "cls")],
         )
-        self.tainted: Set[str] = set()
+        self.analysis.is_generator = _contains_yield(node)
+        #: name -> axis-var frozenset (empty = tainted, axis unnamed)
+        self.tainted: Dict[str, FrozenSet[str]] = {}
+        #: alias origins: name -> "self" | "param:<name>" | "local"
+        self.origin: Dict[str, str] = {}
+        #: local names statically known to hold sets
+        self.settyped: Set[str] = set()
+        self._term_chains: List[Tuple[FrozenSet[str], ...]] = []
 
     # -- taint -------------------------------------------------------------------
 
-    def _expr_tainted(self, expr: Optional[ast.AST]) -> bool:
-        if expr is None:
-            return False
-        for sub in ast.walk(expr):
-            if isinstance(sub, ast.Name) and (
-                sub.id in self.tainted or self.registry.is_scale_dependent(sub.id)
-            ):
-                return True
-            if isinstance(sub, ast.Attribute) and self.registry.is_scale_dependent(
-                sub.attr
-            ):
-                return True
-        return False
+    def _name_axes(self, name: str) -> Optional[FrozenSet[str]]:
+        if self.registry.is_scale_dependent(name):
+            return self.registry.axis_vars_for(name)
+        return None
 
-    def _value_taints(self, expr: Optional[ast.AST]) -> bool:
-        """Does assigning this expression taint the target?
+    def _expr_tainted(self, expr: Optional[ast.AST]) -> Optional[FrozenSet[str]]:
+        """Axis vars if any sub-expression is scale-tainted, else None."""
+        if expr is None:
+            return None
+        axes: Optional[FrozenSet[str]] = None
+        for sub in ast.walk(expr):
+            hit: Optional[FrozenSet[str]] = None
+            if isinstance(sub, ast.Name):
+                if sub.id in self.tainted:
+                    hit = self.tainted[sub.id]
+                else:
+                    hit = self._name_axes(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                hit = self._name_axes(sub.attr)
+            axes = _merge_axes(axes, hit)
+        return axes
+
+    def _value_taints(self, expr: Optional[ast.AST]) -> Optional[FrozenSet[str]]:
+        """Axis vars if assigning this expression taints the target.
 
         Like :meth:`_expr_tainted` but scalar-reducing builtins and plain
         element subscripts launder taint (``len(ring)`` and ``ring[i]`` are
         not scale-sized).
         """
         if expr is None:
-            return False
+            return None
         if isinstance(expr, ast.Call):
             func_name = _call_name(expr)
             if func_name in SCALAR_BUILTINS:
-                return False
-            return any(self._value_taints(arg) for arg in expr.args) or any(
-                self._value_taints(kw.value) for kw in expr.keywords
-            )
+                return None
+            axes: Optional[FrozenSet[str]] = None
+            for arg in expr.args:
+                axes = _merge_axes(axes, self._value_taints(arg))
+            for kw in expr.keywords:
+                axes = _merge_axes(axes, self._value_taints(kw.value))
+            return axes
         if isinstance(expr, ast.Subscript):
             if isinstance(expr.slice, ast.Slice):
                 return self._value_taints(expr.value)
-            return False
+            return None
         if isinstance(expr, (ast.BinOp,)):
-            return self._value_taints(expr.left) or self._value_taints(expr.right)
+            return _merge_axes(self._value_taints(expr.left),
+                               self._value_taints(expr.right))
         if isinstance(expr, ast.IfExp):
-            return self._value_taints(expr.body) or self._value_taints(expr.orelse)
-        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
-            return any(self._expr_tainted(gen.iter) for gen in expr.generators)
-        if isinstance(expr, ast.DictComp):
-            return any(self._expr_tainted(gen.iter) for gen in expr.generators)
+            return _merge_axes(self._value_taints(expr.body),
+                               self._value_taints(expr.orelse))
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            axes = None
+            for gen in expr.generators:
+                axes = _merge_axes(axes, self._expr_tainted(gen.iter))
+            return axes
         if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
-            return any(self._value_taints(item) for item in expr.elts)
+            axes = None
+            for item in expr.elts:
+                axes = _merge_axes(axes, self._value_taints(item))
+            return axes
         return self._expr_tainted(expr)
 
-    def _taint_target(self, target: ast.AST) -> None:
+    def _taint_target(self, target: ast.AST, axes: FrozenSet[str]) -> None:
         if isinstance(target, ast.Name):
-            self.tainted.add(target.id)
+            self.tainted[target.id] = self.tainted.get(target.id,
+                                                       frozenset()) | axes
         elif isinstance(target, (ast.Tuple, ast.List)):
             for item in target.elts:
-                self._taint_target(item)
+                self._taint_target(item, axes)
+
+    # -- alias origins ------------------------------------------------------------
+
+    def _origin_of(self, root: str) -> Optional[str]:
+        """Where a local name's referent lives: self state, a param, local."""
+        if root == "self":
+            return "self"
+        if root in self.analysis.params:
+            return f"param:{root}"
+        return self.origin.get(root)
+
+    def _value_origin(self, expr: ast.AST) -> str:
+        """Alias origin of an assigned value.
+
+        Calls produce fresh (call-local) values -- including ``.clone()``
+        and ``sorted()`` copies, which is exactly why the C5456 CLONE fix's
+        out-of-lock calculation over a cloned ring is not a violation.
+        """
+        if isinstance(expr, (ast.Name, ast.Attribute, ast.Subscript,
+                             ast.Starred)):
+            return self._origin_of(_root_name(expr)) or "local"
+        if isinstance(expr, ast.IfExp):
+            body = self._value_origin(expr.body)
+            orelse = self._value_origin(expr.orelse)
+            return body if body != "local" else orelse
+        return "local"
+
+    def _note_origins(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        if value is None:
+            return
+        if isinstance(target, ast.Name):
+            self.origin[target.id] = self._value_origin(value)
+            if self._is_set_expr(value):
+                self.settyped.add(target.id)
+            elif target.id in self.settyped and not isinstance(value, ast.Name):
+                self.settyped.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for item in target.elts:
+                if isinstance(item, ast.Name):
+                    self.origin[item.id] = "local"
+
+    def _is_set_expr(self, expr: ast.AST) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.settyped
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr)
+            if name in ("set", "frozenset"):
+                return True
+            tail = name.rsplit(".", 1)[-1]
+            return tail in ("intersection", "union", "difference",
+                            "symmetric_difference") and "." in name
+        if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return self._is_set_expr(expr.left) or self._is_set_expr(expr.right)
+        return False
 
     # -- scanning -----------------------------------------------------------------
 
     def scan(self) -> FunctionAnalysis:
         """Iterate the statement walk to a taint fixpoint (handles taint
         introduced later in the body flowing into earlier-seen loops)."""
-        self.tainted = set(self.analysis.tainted_params)
+        self.tainted = {
+            param: self.analysis.param_axes.get(param, frozenset())
+            for param in self.analysis.tainted_params
+        }
         for _round in range(6):
-            before = set(self.tainted)
+            before = dict(self.tainted)
             self.analysis.scale_loops = []
             self.analysis.side_effects = []
             self.analysis.param_mutations = []
             self.analysis.calls = []
             self.analysis.returns_value = False
-            self._walk(self.node.body, depth=0, guards=())
+            self._term_chains = []
+            self._walk(self.node.body, chain=(), guards=())
             if self.tainted == before:
                 break
         self.analysis.local_depth = max(
             (loop.depth for loop in self.analysis.scale_loops), default=0
         )
+        self.analysis.local_terms = maximal(
+            Term.from_chain(chain) for chain in self._term_chains
+        )
         return self.analysis
 
-    def _walk(self, stmts: Sequence[ast.stmt], depth: int,
+    def _walk(self, stmts: Sequence[ast.stmt],
+              chain: Tuple[FrozenSet[str], ...],
               guards: Tuple[str, ...]) -> None:
         for stmt in stmts:
-            self._stmt(stmt, depth, guards)
+            self._stmt(stmt, chain, guards)
 
-    def _stmt(self, stmt: ast.stmt, depth: int, guards: Tuple[str, ...]) -> None:
+    def _stmt(self, stmt: ast.stmt, chain: Tuple[FrozenSet[str], ...],
+              guards: Tuple[str, ...]) -> None:
+        depth = len(chain)
         if isinstance(stmt, (ast.For, ast.AsyncFor)):
-            tainted_iter = self._expr_tainted(stmt.iter)
-            inner = depth + 1 if tainted_iter else depth
-            if tainted_iter:
+            iter_axes = self._expr_tainted(stmt.iter)
+            self._note_origins(stmt.target, stmt.iter)
+            self._check_set_iteration(stmt.iter, stmt.lineno)
+            if iter_axes is not None:
+                inner = chain + (iter_axes,)
                 self.analysis.scale_loops.append(ScaleLoop(
-                    lineno=stmt.lineno, depth=inner,
+                    lineno=stmt.lineno, depth=len(inner),
                     iterates=_safe_unparse(stmt.iter), guards=guards,
+                    axes=tuple(sorted(iter_axes)),
                 ))
-            self._scan_exprs(stmt.iter, depth, guards)
+                self._term_chains.append(inner)
+            else:
+                inner = chain
+            self._scan_exprs(stmt.iter, chain, guards)
             self._walk(stmt.body, inner, guards)
-            self._walk(stmt.orelse, depth, guards)
+            self._walk(stmt.orelse, chain, guards)
         elif isinstance(stmt, ast.While):
-            tainted_test = self._expr_tainted(stmt.test)
-            inner = depth + 1 if tainted_test else depth
-            if tainted_test:
+            test_axes = self._expr_tainted(stmt.test)
+            if test_axes is not None:
+                inner = chain + (test_axes,)
                 self.analysis.scale_loops.append(ScaleLoop(
-                    lineno=stmt.lineno, depth=inner,
+                    lineno=stmt.lineno, depth=len(inner),
                     iterates=_safe_unparse(stmt.test), guards=guards,
+                    axes=tuple(sorted(test_axes)),
                 ))
-            self._scan_exprs(stmt.test, depth, guards)
+                self._term_chains.append(inner)
+            else:
+                inner = chain
+            self._scan_exprs(stmt.test, chain, guards)
             self._walk(stmt.body, inner, guards)
-            self._walk(stmt.orelse, depth, guards)
+            self._walk(stmt.orelse, chain, guards)
         elif isinstance(stmt, ast.If):
-            self._scan_exprs(stmt.test, depth, guards)
+            self._scan_exprs(stmt.test, chain, guards)
             test_src = _safe_unparse(stmt.test)
-            self._walk(stmt.body, depth, guards + (test_src,))
-            self._walk(stmt.orelse, depth, guards + (f"not ({test_src})",))
+            self._walk(stmt.body, chain, guards + (test_src,))
+            self._walk(stmt.orelse, chain, guards + (f"not ({test_src})",))
         elif isinstance(stmt, ast.Assign):
-            if self._value_taints(stmt.value):
+            axes = self._value_taints(stmt.value)
+            if axes is not None:
                 for target in stmt.targets:
-                    self._taint_target(target)
+                    self._taint_target(target, axes)
+            for target in stmt.targets:
+                self._note_origins(target, stmt.value)
             self._record_write_targets(stmt.targets, stmt.lineno)
-            self._scan_exprs(stmt.value, depth, guards)
+            self._scan_exprs(stmt.value, chain, guards)
         elif isinstance(stmt, ast.AugAssign):
-            if self._value_taints(stmt.value):
-                self._taint_target(stmt.target)
+            axes = self._value_taints(stmt.value)
+            if axes is not None:
+                self._taint_target(stmt.target, axes)
             self._record_write_targets([stmt.target], stmt.lineno)
-            self._scan_exprs(stmt.value, depth, guards)
+            self._scan_exprs(stmt.value, chain, guards)
         elif isinstance(stmt, ast.AnnAssign):
-            if stmt.value is not None and self._value_taints(stmt.value):
-                self._taint_target(stmt.target)
-            self._record_write_targets([stmt.target], stmt.lineno)
-            self._scan_exprs(stmt.value, depth, guards)
-        elif isinstance(stmt, ast.Return):
             if stmt.value is not None:
+                axes = self._value_taints(stmt.value)
+                if axes is not None:
+                    self._taint_target(stmt.target, axes)
+                self._note_origins(stmt.target, stmt.value)
+            self._record_write_targets([stmt.target], stmt.lineno)
+            self._scan_exprs(stmt.value, chain, guards)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and not _is_none_constant(stmt.value):
                 self.analysis.returns_value = True
-            self._scan_exprs(stmt.value, depth, guards)
+            self._scan_exprs(stmt.value, chain, guards)
         elif isinstance(stmt, ast.Expr):
-            self._scan_exprs(stmt.value, depth, guards)
+            self._scan_exprs(stmt.value, chain, guards)
         elif isinstance(stmt, (ast.Global, ast.Nonlocal)):
             self.analysis.side_effects.append(SideEffect(
                 kind="global-write", lineno=stmt.lineno,
@@ -295,50 +450,101 @@ class _FunctionScanner:
             ))
         elif isinstance(stmt, ast.With):
             for item in stmt.items:
-                self._scan_exprs(item.context_expr, depth, guards)
-            self._walk(stmt.body, depth, guards)
+                self._scan_exprs(item.context_expr, chain, guards)
+                if item.optional_vars is not None:
+                    self._note_origins(item.optional_vars, item.context_expr)
+            self._walk(stmt.body, chain, guards)
         elif isinstance(stmt, ast.Try):
-            self._walk(stmt.body, depth, guards)
+            self._walk(stmt.body, chain, guards)
             for handler in stmt.handlers:
-                self._walk(handler.body, depth, guards)
-            self._walk(stmt.orelse, depth, guards)
-            self._walk(stmt.finalbody, depth, guards)
-        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            pass  # nested definitions are analyzed separately
+                self._walk(handler.body, chain, guards)
+            self._walk(stmt.orelse, chain, guards)
+            self._walk(stmt.finalbody, chain, guards)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested definitions are analyzed separately, but writes they
+            # capture from this scope escape the call: scan for closures.
+            self._scan_closure(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            pass
         elif isinstance(stmt, ast.Raise):
-            self._scan_exprs(stmt.exc, depth, guards)
+            self._scan_exprs(stmt.exc, chain, guards)
         elif isinstance(stmt, (ast.Assert,)):
-            self._scan_exprs(stmt.test, depth, guards)
+            self._scan_exprs(stmt.test, chain, guards)
 
-    def _record_write_targets(self, targets: Sequence[ast.AST], lineno: int) -> None:
-        """Classify writes through attributes/subscripts of non-locals."""
+    def _scan_closure(self, inner: ast.AST) -> None:
+        """Flag nested functions that write state captured from this scope."""
+        outer = set(self.analysis.params) | set(self.origin) | {"self"}
+        shadowed = {
+            arg.arg for node in ast.walk(inner)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda))
+            for arg in node.args.args
+        }
+        for sub in ast.walk(inner):
+            if isinstance(sub, ast.Nonlocal):
+                self.analysis.side_effects.append(SideEffect(
+                    kind="closure-capture", lineno=sub.lineno,
+                    detail=f"nonlocal {', '.join(sub.names)}",
+                ))
+                continue
+            targets: List[ast.AST] = []
+            if isinstance(sub, ast.Assign):
+                targets = list(sub.targets)
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                targets = [sub.target]
+            elif isinstance(sub, ast.Call):
+                name = _call_name(sub)
+                tail = name.rsplit(".", 1)[-1]
+                root = name.split(".", 1)[0]
+                if (tail in MUTATING_METHODS and "." in name
+                        and root in outer and root not in shadowed):
+                    self.analysis.side_effects.append(SideEffect(
+                        kind="closure-capture", lineno=sub.lineno,
+                        detail=_safe_unparse(sub.func),
+                    ))
+                continue
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = _root_name(target)
+                    if root in outer and root not in shadowed:
+                        self.analysis.side_effects.append(SideEffect(
+                            kind="closure-capture", lineno=sub.lineno,
+                            detail=_safe_unparse(target),
+                        ))
+
+    def _record_write_targets(self, targets: Sequence[ast.AST],
+                              lineno: int) -> None:
+        """Classify writes through attributes/subscripts by alias origin."""
         for target in targets:
-            if isinstance(target, ast.Attribute):
-                base = _root_name(target)
-                if base == "self":
-                    self.analysis.side_effects.append(SideEffect(
-                        kind="state-write", lineno=lineno,
-                        detail=_safe_unparse(target),
-                    ))
-                elif base in self.analysis.params:
-                    self.analysis.param_mutations.append(SideEffect(
-                        kind="param-mutation", lineno=lineno,
-                        detail=_safe_unparse(target),
-                    ))
-            elif isinstance(target, ast.Subscript):
-                base = _root_name(target)
-                if base == "self":
-                    self.analysis.side_effects.append(SideEffect(
-                        kind="state-write", lineno=lineno,
-                        detail=_safe_unparse(target),
-                    ))
-                elif base in self.analysis.params:
-                    self.analysis.param_mutations.append(SideEffect(
-                        kind="param-mutation", lineno=lineno,
-                        detail=_safe_unparse(target),
-                    ))
+            if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                continue
+            base = _root_name(target)
+            origin = self._origin_of(base)
+            detail = _safe_unparse(target)
+            if origin == "self":
+                self.analysis.side_effects.append(SideEffect(
+                    kind="state-write", lineno=lineno, detail=detail,
+                ))
+            elif origin is not None and origin.startswith("param:"):
+                self.analysis.param_mutations.append(SideEffect(
+                    kind="param-mutation", lineno=lineno, detail=detail,
+                ))
+            elif origin is None and base:
+                # Not a parameter, never assigned locally: a module-level
+                # structure (or an import) is being written through.
+                self.analysis.side_effects.append(SideEffect(
+                    kind="global-write", lineno=lineno, detail=detail,
+                ))
 
-    def _scan_exprs(self, expr: Optional[ast.AST], depth: int,
+    def _check_set_iteration(self, iter_expr: ast.AST, lineno: int) -> None:
+        if self._is_set_expr(iter_expr):
+            self.analysis.side_effects.append(SideEffect(
+                kind="iteration-order", lineno=lineno,
+                detail=f"set iteration: {_safe_unparse(iter_expr)}",
+            ))
+
+    def _scan_exprs(self, expr: Optional[ast.AST],
+                    chain: Tuple[FrozenSet[str], ...],
                     guards: Tuple[str, ...]) -> None:
         """Find calls (call-graph edges + side effects) and comprehension
         loops inside an expression tree."""
@@ -346,27 +552,37 @@ class _FunctionScanner:
             return
         for sub in ast.walk(expr):
             if isinstance(sub, ast.Call):
-                self._record_call(sub, depth, guards)
+                self._record_call(sub, chain, guards)
             elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
                                   ast.DictComp)):
                 for gen in sub.generators:
-                    if self._expr_tainted(gen.iter):
+                    self._check_set_iteration(gen.iter, sub.lineno)
+                    gen_axes = self._expr_tainted(gen.iter)
+                    if gen_axes is not None:
                         self.analysis.scale_loops.append(ScaleLoop(
-                            lineno=sub.lineno, depth=depth + 1,
+                            lineno=sub.lineno, depth=len(chain) + 1,
                             iterates=_safe_unparse(gen.iter), guards=guards,
+                            axes=tuple(sorted(gen_axes)),
                         ))
+                        self._term_chains.append(chain + (gen_axes,))
 
-    def _record_call(self, call: ast.Call, depth: int,
+    def _record_call(self, call: ast.Call,
+                     chain: Tuple[FrozenSet[str], ...],
                      guards: Tuple[str, ...]) -> None:
         name = _call_name(call)
         if not name:
             return
+        arg_axes = [self._value_taints(arg) for arg in call.args]
         tainted_positions = tuple(
-            i for i, arg in enumerate(call.args) if self._value_taints(arg)
+            i for i, axes in enumerate(arg_axes) if axes is not None
         )
         self.analysis.calls.append(CallSite(
-            callee=name, lineno=call.lineno, scale_loop_depth=depth,
+            callee=name, lineno=call.lineno, scale_loop_depth=len(chain),
             tainted_args=tainted_positions, guards=guards,
+            tainted_arg_axes=tuple(
+                tuple(sorted(arg_axes[i])) for i in tainted_positions
+            ),
+            chain=tuple(tuple(sorted(axes)) for axes in chain),
         ))
         self._classify_call_effect(call, name)
 
@@ -382,23 +598,82 @@ class _FunctionScanner:
         elif tail in BLOCKING_HINTS:
             kind = "blocking"
         elif tail in NONDET_HINTS:
-            kind = "nondeterminism"
+            # Seeded simulation RNG streams are deterministic by
+            # construction; anything reached through an "rng" *attribute*
+            # (self.rng.choice, cluster.sim.rng.uniform) is whitelisted.
+            # A bare root named "rng" stays flagged: a parameter or local
+            # by that name carries no seeding guarantee.
+            if "rng" not in name.split(".")[1:]:
+                kind = "nondeterminism"
+        elif tail in MUTATING_METHODS and "." in name:
+            root = name.split(".", 1)[0]
+            origin = self._origin_of(root)
+            detail = _safe_unparse(call.func)
+            if origin == "self":
+                kind = "state-write"
+            elif origin is not None and origin.startswith("param:"):
+                self.analysis.param_mutations.append(SideEffect(
+                    kind="param-mutation", lineno=call.lineno, detail=detail,
+                ))
+                return
+            elif origin is None and root:
+                kind = "global-write"
         if kind is not None:
             self.analysis.side_effects.append(SideEffect(
                 kind=kind, lineno=call.lineno, detail=_safe_unparse(call.func),
             ))
 
 
+def _merge_axes(a: Optional[FrozenSet[str]],
+                b: Optional[FrozenSet[str]]) -> Optional[FrozenSet[str]]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+def _is_none_constant(expr: ast.AST) -> bool:
+    return isinstance(expr, ast.Constant) and expr.value is None
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    """True if the function body yields (excluding nested definitions)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if _contains_yield(child):
+            return True
+    return False
+
+
 def _call_name(call: ast.Call) -> str:
-    if isinstance(call.func, ast.Name):
-        return call.func.id
-    if isinstance(call.func, ast.Attribute):
-        return f"{_root_name(call.func)}.{call.func.attr}"
-    return ""
+    """Full dotted receiver chain (``self.gossiper.handle_message``).
+
+    Subscripts in the chain are skipped (``self.queues[i].append`` ->
+    ``self.queues.append``); calls or other expressions as the root leave
+    only the attribute tail, never a fabricated receiver.
+    """
+    parts: List[str] = []
+    node: ast.AST = call.func
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            break
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
 
 
 def _root_name(node: ast.AST) -> str:
-    while isinstance(node, (ast.Attribute, ast.Subscript)):
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
         node = node.value
     if isinstance(node, ast.Name):
         return node.id
@@ -508,37 +783,54 @@ class Finder:
                     if callee is None:
                         continue
                     callee_analysis = analyses[callee]
-                    for pos in call.tainted_args:
-                        if pos < len(callee_analysis.params):
-                            param = callee_analysis.params[pos]
-                            if param not in callee_analysis.tainted_params:
-                                callee_analysis.tainted_params.add(param)
-                                changed = True
+                    for pos, axes in zip(call.tainted_args,
+                                         call.tainted_arg_axes):
+                        if pos >= len(callee_analysis.params):
+                            continue
+                        param = callee_analysis.params[pos]
+                        new = frozenset(axes)
+                        old = callee_analysis.param_axes.get(param)
+                        if (param not in callee_analysis.tainted_params
+                                or old is None or not new <= old):
+                            callee_analysis.tainted_params.add(param)
+                            callee_analysis.param_axes[param] = (
+                                (old or frozenset()) | new
+                            )
+                            changed = True
             if not changed:
                 break
             for name, scanner in scanners.items():
-                scanner.analysis.tainted_params = analyses[name].tainted_params
                 analyses[name] = scanner.scan()
-        # Effective depth and transitive effects via memoized DFS.
-        depth_memo: Dict[str, int] = {}
+        # Effective terms and transitive effects via memoized DFS.
+        term_memo: Dict[str, Tuple[Term, ...]] = {}
         effect_memo: Dict[str, Set[str]] = {}
 
-        def effective_depth(name: str, stack: Tuple[str, ...]) -> int:
-            """Effective depth."""
-            if name in depth_memo:
-                return depth_memo[name]
+        def effective_terms(name: str, stack: Tuple[str, ...]
+                            ) -> Tuple[Term, ...]:
+            """Pareto-maximal complexity terms, interprocedurally."""
+            if name in term_memo:
+                return term_memo[name]
             if name in stack:
-                return 0  # recursion: bound conservatively
+                return ()  # recursion: bound conservatively
             analysis = analyses[name]
-            best = analysis.local_depth
+            terms: List[Term] = list(analysis.local_terms)
             for call in analysis.calls:
+                chain_term = Term.from_chain(call.chain)
+                declared = self.registry.cost_degrees(call.callee)
+                if declared:
+                    # Cost-model bridge: the callee charges virtual CPU
+                    # demand arithmetically; use its declared degrees
+                    # instead of (invisible) loop structure.
+                    terms.append(chain_term.mul(Term.from_degrees(declared)))
+                    continue
                 callee = self._resolve_callee(call.callee, scanners)
                 if callee is None:
                     continue
-                best = max(best, call.scale_loop_depth
-                           + effective_depth(callee, stack + (name,)))
-            depth_memo[name] = best
-            return best
+                for callee_term in effective_terms(callee, stack + (name,)):
+                    terms.append(chain_term.mul(callee_term))
+            result = maximal(terms)
+            term_memo[name] = result
+            return result
 
         def transitive_effects(name: str, stack: Tuple[str, ...]) -> Set[str]:
             """Transitive effects."""
@@ -556,7 +848,10 @@ class Finder:
             return kinds
 
         for name, analysis in analyses.items():
-            analysis.effective_depth = effective_depth(name, ())
+            analysis.effective_terms = effective_terms(name, ())
+            analysis.effective_depth = max(
+                (term.total() for term in analysis.effective_terms), default=0
+            )
             analysis.transitive_effect_kinds = transitive_effects(name, ())
         return FinderReport(module=module, functions=analyses)
 
@@ -566,10 +861,9 @@ class Finder:
         """Resolve a call-site name to a function in this module."""
         if callee in scanners:
             return callee
-        if callee.startswith("self."):
-            method = callee[len("self."):]
-            if method in scanners:
-                return method
+        parts = callee.split(".")
+        if parts[0] == "self" and len(parts) == 2 and parts[1] in scanners:
+            return parts[1]
         return None
 
 

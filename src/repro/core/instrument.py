@@ -67,24 +67,43 @@ class Instrumenter:
     # -- wrapping -------------------------------------------------------------------
 
     def instrument(self, names: Optional[Iterable[str]] = None) -> List[str]:
-        """Wrap ``names`` (default: the finder's picks).  Returns wrapped names."""
+        """Wrap ``names`` (default: the finder's picks).  Returns wrapped names.
+
+        Atomic: either every requested target is rebound or none of this
+        batch is.  Targets are validated before the first rebind, and an
+        unexpected failure mid-rebind rolls the batch back, so a raising
+        ``instrument()`` never leaves the module half-instrumented -- even
+        when the Instrumenter is used without its context manager.
+        """
         targets = list(names) if names is not None else self.default_targets()
+        batch: Dict[str, object] = {}
         for name in targets:
-            if name in self.wrapped:
+            if name in self.wrapped or name in batch:
                 continue
             original = getattr(self.module, name, None)
             if original is None or not callable(original):
                 raise InstrumentationError(
                     f"{self.module.__name__}.{name} is not a callable"
                 )
-            shim = PilFunction(
-                original, self.db,
-                func_id=f"{self.module.__name__}.{name}",
-                time_scale=self.time_scale,
-            )
-            self._originals[name] = original
-            self.wrapped[name] = shim
-            setattr(self.module, name, shim)
+            batch[name] = original
+        rebound: List[str] = []
+        try:
+            for name, original in batch.items():
+                shim = PilFunction(
+                    original, self.db,
+                    func_id=f"{self.module.__name__}.{name}",
+                    time_scale=self.time_scale,
+                )
+                setattr(self.module, name, shim)
+                rebound.append(name)
+                self._originals[name] = original
+                self.wrapped[name] = shim
+        except Exception:
+            for name in rebound:
+                setattr(self.module, name, batch[name])
+                self._originals.pop(name, None)
+                self.wrapped.pop(name, None)
+            raise
         return targets
 
     def set_mode(self, mode: str) -> None:

@@ -19,12 +19,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..annotations import lock_protects, scale_dependent
 from ..cassandra.metrics import CalcRecord, FlapCounter
 from ..cassandra.node import CalcExecutor, CalcRequest, DirectExecutor
 from ..sim.cpu import CpuModel
 from ..sim.kernel import Acquire, Channel, Compute, Get, Simulator, Timeout
 from ..sim.network import Message, Network
 from .blocks import BlockReport
+
+# Scale annotations for the HDFS model: the block population B and the
+# datanode population D are the axes the namenode's offending paths grow
+# along.  ``blocks`` covers the per-report block lists (BlockReport.blocks)
+# as well as the global map.
+scale_dependent(
+    "block_map",
+    "blocks",
+    var="B",
+    note="block population: global block map / full block-report contents",
+)
+scale_dependent(
+    "datanodes",
+    var="D",
+    note="registered datanode descriptors",
+)
+# The global namesystem lock owns both structures.  The heartbeat monitor's
+# deliberately lock-free descriptor reads (the mechanism that lets wedged
+# report processing flap healthy datanodes) are baseline-suppressed, not
+# exempted.
+lock_protects("fsn_lock", "block_map", "datanodes",
+              note="global namesystem (FSNamesystem) lock")
 
 # Message kinds.
 REGISTER = "dn-register"

@@ -15,7 +15,7 @@ Four pieces, layered bottom-up:
   attribution for ``ScaleCheck.compare_modes``.
 """
 
-from .collect import ClusterCollector, SweepCollector
+from .collect import ClusterCollector, SweepCollector, record_lint_findings
 from .doctor import (
     Bottleneck,
     DoctorReport,
@@ -59,5 +59,6 @@ __all__ = [
     "SweepCollector",
     "attribute_divergence",
     "diagnose",
+    "record_lint_findings",
     "stage_lateness",
 ]

@@ -1,0 +1,7 @@
+"""Fixture package for ``repro lint`` golden tests.
+
+Analyzed *statically* (never imported by the linter): the annotation
+calls below are harvested from source.  Every module is frozen -- the
+golden JSON under ``tests/fixtures/`` byte-compares lint output, so line
+numbers matter.
+"""

@@ -1,0 +1,46 @@
+"""Lock-discipline fixture: the C5456 shape in miniature."""
+
+import threading
+
+from repro.annotations import lock_protects, scale_dependent
+
+scale_dependent("table", var="T", note="fixture shared table")
+lock_protects("table_lock", "table", note="fixture table ownership")
+
+
+class Registry:
+    """Shared table guarded (mostly) by a lock."""
+
+    def __init__(self):
+        self.table = {}
+        self.table_lock = threading.Lock()
+
+    def rebuild(self):
+        """The bug shape: O(T^2) scan while the lock is held."""
+        self.table_lock.acquire()
+        total = 0
+        for key in self.table:
+            for other in self.table:
+                if key != other:
+                    total += 1
+        self.table_lock.release()
+        return total
+
+    def dirty_read(self):
+        """Reads the table without the lock."""
+        return len(self.table)
+
+    def locked_update(self, key, value):
+        """Correct discipline: install under the lock."""
+        self.table_lock.acquire()
+        self._install(key, value)
+        self.table_lock.release()
+
+    def _install(self, key, value):
+        """Touches the table, but only ever called with the lock held."""
+        self.table[key] = value
+
+    def scoped_sum(self):
+        """`with` form of acquisition: no violation."""
+        with self.table_lock:
+            return sum(self.table.values())

@@ -1,0 +1,81 @@
+"""Complexity-rule fixture: one function per finding shape."""
+
+import time
+
+from repro.annotations import declare_cost, scale_dependent
+
+scale_dependent("ring", var="T", note="fixture ring table")
+scale_dependent("changes", var="M", note="fixture change batch")
+scale_dependent("legacy_table", note="unnamed axis: O(N^d) fallback")
+declare_cost("modeled_cost", T=2, note="fixture cost bridge")
+
+_CACHE = []
+
+
+def modeled_cost(tokens):
+    """Arithmetic charge; complexity comes from declare_cost above."""
+    return 2e-9 * tokens * tokens
+
+
+def pending_gains(ring, changes, rf):
+    """O(M·T^2): per change, walk every boundary's owner out by scan."""
+    gains = {}
+    for change in changes:
+        for token in ring:
+            owner = _owner_walk(ring, token + change)
+            if owner is not None:
+                gains[owner] = gains.get(owner, 0) + rf
+    return gains
+
+
+def _owner_walk(ring, token):
+    """O(T) linear scan for the owning token."""
+    best = None
+    for candidate in ring:
+        if candidate >= token and (best is None or candidate < best):
+            best = candidate
+    return best
+
+
+def guarded_rebuild(ring, fresh_start):
+    """O(T^2), but only on the fresh_start path (guard reporting)."""
+    total = 0
+    if fresh_start:
+        for left in ring:
+            for right in ring:
+                total += 1 if left < right else 0
+    return total
+
+
+def charge_demand(ring, changes):
+    """Scale work through the declared-cost bridge, inside an M loop."""
+    demand = 0.0
+    for _change in changes:
+        demand += modeled_cost(len(ring))
+    return demand
+
+
+def unsafe_collect(ring):
+    """O(T^2) offender that escapes into module state: not PIL-safe."""
+    for left in ring:
+        for right in ring:
+            if left != right:
+                _CACHE.append((left, right))
+    return len(_CACHE)
+
+
+def stamped_scan(ring):
+    """Wall-clock read: breaks byte-identical replay."""
+    started = time.time()
+    hits = sum(1 for token in ring if token > 0)
+    return hits, started
+
+
+def legacy_scan(legacy_table):
+    """Unnamed-axis nest: label falls back to O(N^2)."""
+    count = 0
+    for row in legacy_table:
+        for other in legacy_table:
+            if row is not other:
+                count += 1
+    return count

@@ -1,0 +1,87 @@
+"""Differential tests over the loop-literal calculator corpus.
+
+Every historical variant computes the same quantity, so the fixed
+versions must agree with the buggy ones exactly on small rings -- the
+property that made the historical rewrites safe to ship.
+"""
+
+import itertools
+
+import pytest
+
+from repro.cassandra.calc_variants import (
+    VARIANT_OF,
+    calc_v0_c3831,
+    calc_v1_c3881,
+    calc_v2_vnode_fix,
+    calc_v3_bootstrap_c6127,
+)
+from repro.cassandra.pending_ranges import CalculatorVariant
+
+#: A small sorted vnode ring: 4 nodes x 2 tokens each, interleaved owners.
+RING = [10, 20, 30, 40, 50, 60, 70, 80]
+OWNERS = ["n1", "n2", "n3", "n4", "n1", "n2", "n3", "n4"]
+
+#: A shuffled view of the same ring: v0 never assumes sort order.
+SHUFFLE = [3, 0, 6, 1, 7, 4, 2, 5]
+PHYS_RING = [RING[i] for i in SHUFFLE]
+PHYS_OWNERS = [OWNERS[i] for i in SHUFFLE]
+
+CHANGES = [(35, "n5"), (75, "n6")]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("rf", [1, 2, 3])
+    def test_v0_equals_v1(self, rf):
+        buggy = calc_v0_c3831(PHYS_RING, PHYS_OWNERS, CHANGES, rf)
+        fixed = calc_v1_c3881(RING, OWNERS, CHANGES, rf)
+        assert buggy == fixed
+
+    @pytest.mark.parametrize("rf", [1, 2, 3])
+    def test_v1_equals_v2(self, rf):
+        assert calc_v1_c3881(RING, OWNERS, CHANGES, rf) == \
+            calc_v2_vnode_fix(RING, OWNERS, CHANGES, rf)
+
+    @pytest.mark.parametrize("rf", [1, 2])
+    def test_all_change_batches_agree(self, rf):
+        # Sweep every 1- and 2-change batch drawn from a candidate pool.
+        pool = [(5, "n5"), (35, "n5"), (55, "n6"), (85, "n6")]
+        for size in (1, 2):
+            for changes in itertools.combinations(pool, size):
+                batch = list(changes)
+                v0 = calc_v0_c3831(PHYS_RING, PHYS_OWNERS, batch, rf)
+                v1 = calc_v1_c3881(RING, OWNERS, batch, rf)
+                v2 = calc_v2_vnode_fix(RING, OWNERS, batch, rf)
+                assert v0 == v1 == v2, (batch, rf)
+
+    def test_single_node_ring(self):
+        assert calc_v0_c3831([10], ["n1"], [(20, "n2")], 2) == \
+            calc_v1_c3881([10], ["n1"], [(20, "n2")], 2) == \
+            calc_v2_vnode_fix([10], ["n1"], [(20, "n2")], 2)
+
+    def test_empty_change_batch_is_empty(self):
+        for calc in (calc_v0_c3831, calc_v1_c3881, calc_v2_vnode_fix):
+            assert calc(RING, OWNERS, [], 3) == {}
+
+
+class TestBootstrapVariant:
+    def test_v3_on_empty_ring_matches_v1(self):
+        # Fresh bootstrap: no current ring to diff against, so v3's
+        # count-everything construction equals v1 run from an empty ring.
+        changes = [(10, "n1"), (20, "n2"), (30, "n3")]
+        for rf in (1, 2, 3):
+            assert calc_v3_bootstrap_c6127([], [], changes, rf) == \
+                calc_v1_c3881([], [], changes, rf)
+
+    def test_guard_off_skips_the_expensive_path(self):
+        assert calc_v3_bootstrap_c6127(RING, OWNERS, CHANGES, 2,
+                                       fresh_bootstrap=False) == {}
+
+
+def test_variant_map_covers_the_corpus():
+    assert VARIANT_OF == {
+        "calc_v0_c3831": CalculatorVariant.V0_C3831,
+        "calc_v1_c3881": CalculatorVariant.V1_C3881,
+        "calc_v2_vnode_fix": CalculatorVariant.V2_VNODE_FIX,
+        "calc_v3_bootstrap_c6127": CalculatorVariant.V3_BOOTSTRAP_C6127,
+    }

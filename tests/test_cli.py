@@ -162,3 +162,67 @@ def test_parser_rejects_unknown_command():
 def test_parser_rejects_unknown_figure3_bug():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure3", "--bug", "c9999"])
+
+
+# -- lint ----------------------------------------------------------------------------
+
+
+FIXTURE_PKG = str(__import__("pathlib").Path(__file__).parent
+                  / "fixtures" / "lintpkg")
+REPO_BASELINE = str(__import__("pathlib").Path(__file__).resolve().parents[1]
+                    / "lint-baseline.json")
+
+
+def test_lint_fixture_without_baseline_fails(capsys, tmp_path):
+    code, out = run_cli(capsys, "lint", "--targets", FIXTURE_PKG,
+                        "--baseline", str(tmp_path / "absent.json"))
+    assert code == 1
+    assert "lock-held-scale-work" in out
+    assert "lintpkg.lockmod" in out
+
+
+def test_lint_write_baseline_then_clean(capsys, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    code, out = run_cli(capsys, "lint", "--targets", FIXTURE_PKG,
+                        "--baseline", str(baseline), "--write-baseline")
+    assert code == 0
+    assert baseline.exists()
+    code, out = run_cli(capsys, "lint", "--targets", FIXTURE_PKG,
+                        "--baseline", str(baseline))
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_lint_self_check_passes_on_shipped_tree(capsys):
+    code, out = run_cli(capsys, "lint", "--self-check",
+                        "--baseline", REPO_BASELINE)
+    assert code == 0
+    assert "self-check ok: C5456" in out
+    assert "self-check ok: HDFS" in out
+    assert "FAIL" not in out
+
+
+def test_lint_json_format(capsys, tmp_path):
+    import json
+
+    code, out = run_cli(capsys, "lint", "--targets", FIXTURE_PKG,
+                        "--baseline", str(tmp_path / "absent.json"),
+                        "--format", "json")
+    assert code == 1
+    data = json.loads(out)
+    assert data["summary"]["findings"] > 0
+    assert {f["rule"] for f in data["findings"]} >= {"scale-complexity"}
+
+
+def test_lint_sarif_to_file(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "report.sarif"
+    code, out = run_cli(capsys, "lint", "--targets", FIXTURE_PKG,
+                        "--baseline", str(tmp_path / "absent.json"),
+                        "--format", "sarif", "--out", str(out_path))
+    assert code == 1
+    assert "written to" in out
+    sarif = json.loads(out_path.read_text())
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"]

@@ -448,3 +448,151 @@ def test_finder_refuses_gossiper_message_handling():
     assert not handler.pil_safe(make_registry("endpoint_state_map"))
     apply_state = report.get("Gossiper._apply_state")
     assert not apply_state.pil_safe(make_registry("endpoint_state_map"))
+
+
+# -- named scale axes (closed-form labels) -------------------------------------------
+
+
+def axis_registry(**vars_by_name):
+    registry = AnnotationRegistry()
+    for name, var in vars_by_name.items():
+        scale_dependent(name, var=var, registry=registry)
+    return registry
+
+
+class TestNamedAxes:
+    def test_distinct_axes_yield_distinct_labels(self):
+        # An O(N·NP) nest (nodes x vnodes) must not collapse to O(N^2).
+        registry = axis_registry(nodes="N", vnodes="NP")
+        report = Finder(registry).analyze_source(
+            """
+            def f(nodes, vnodes):
+                total = 0
+                for n in nodes:
+                    for v in vnodes:
+                        total += 1
+                return total
+            """
+        )
+        assert report.get("f").complexity == "O(N·NP)"
+
+    def test_same_axis_twice_squares(self):
+        registry = axis_registry(ring="T")
+        report = Finder(registry).analyze_source(
+            """
+            def f(ring):
+                total = 0
+                for a in ring:
+                    for b in ring:
+                        total += 1
+                return total
+            """
+        )
+        assert report.get("f").complexity == "O(T^2)"
+
+    def test_unnamed_axes_keep_depth_fallback(self):
+        report = analyze(
+            """
+            def f(ring):
+                total = 0
+                for a in ring:
+                    for b in ring:
+                        total += 1
+                return total
+            """,
+            "ring",
+        )
+        assert report.get("f").complexity == "O(N^2)"
+
+    def test_scale_loops_carry_axis_vars(self):
+        registry = axis_registry(ring="T")
+        report = Finder(registry).analyze_source(
+            """
+            def f(ring):
+                for a in ring:
+                    pass
+                return 0
+            """
+        )
+        loops = report.get("f").scale_loops
+        assert [loop.axes for loop in loops] == [("T",)]
+
+    def test_mixed_structure_level_sums_axes(self):
+        # One loop over a structure tainted by two axes: the level's factor
+        # is the sum M+T, not a product.
+        registry = axis_registry(ring="T", changes="M")
+        report = Finder(registry).analyze_source(
+            """
+            def f(ring, changes):
+                merged = list(ring) + list(changes)
+                total = 0
+                for item in merged:
+                    total += 1
+                return total
+            """
+        )
+        assert report.get("f").complexity == "O((M+T))"
+
+
+# -- PIL-safety tightening: generators and implicit None -----------------------------
+
+
+class TestPilSafetyVerdicts:
+    def test_generator_unsafe_even_with_override(self):
+        registry = make_registry("ring")
+        report = Finder(registry).analyze_source(
+            """
+            def gen(ring):
+                for a in ring:
+                    yield a
+            """
+        )
+        analysis = report.get("gen")
+        assert analysis.is_generator
+        assert not analysis.pil_safe(registry)
+        # The veto is absolute: a developer assertion cannot lift it.
+        registry.add_pil_safe(analysis.qualname)
+        assert not analysis.pil_safe(registry)
+
+    def test_implicit_none_return_is_unsafe(self):
+        registry = make_registry("ring")
+        report = Finder(registry).analyze_source(
+            """
+            def walk(ring):
+                total = 0
+                for a in ring:
+                    total += 1
+            """
+        )
+        analysis = report.get("walk")
+        assert not analysis.returns_value
+        assert not analysis.pil_safe(registry)
+
+    def test_bare_return_is_unsafe(self):
+        registry = make_registry("ring")
+        report = Finder(registry).analyze_source(
+            """
+            def walk(ring):
+                for a in ring:
+                    if a is None:
+                        return
+                return
+            """
+        )
+        analysis = report.get("walk")
+        assert not analysis.returns_value
+
+    def test_real_return_is_safe(self):
+        registry = make_registry("ring")
+        report = Finder(registry).analyze_source(
+            """
+            def walk(ring):
+                total = 0
+                for a in ring:
+                    total += 1
+                return total
+            """
+        )
+        analysis = report.get("walk")
+        assert analysis.returns_value
+        assert analysis.pil_safe(registry)

@@ -196,3 +196,41 @@ class TestInstrumenter:
             inst.instrument(["_incremental_update"])
             inst.instrument(["_incremental_update"])
             assert len(inst.wrapped) == 1
+
+
+class TestInstrumentAtomicity:
+    """instrument() is all-or-nothing: a failing batch leaves the module
+    exactly as it found it."""
+
+    def test_invalid_target_rejected_before_any_rebind(self):
+        before = legacy_calc._incremental_update
+        with Instrumenter(legacy_calc, MemoDB()) as inst:
+            with pytest.raises(InstrumentationError):
+                inst.instrument(["_incremental_update", "not_a_function"])
+            assert legacy_calc._incremental_update is before
+            assert inst.wrapped == {}
+
+    def test_mid_batch_failure_rolls_back_earlier_rebinds(self, monkeypatch):
+        import repro.core.instrument as instrument_mod
+
+        originals = {
+            "_incremental_update": legacy_calc._incremental_update,
+            "_natural_endpoints_scan": legacy_calc._natural_endpoints_scan,
+        }
+        calls = {"n": 0}
+
+        def exploding_pilfunction(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("boom on second shim")
+            return PilFunction(*args, **kwargs)
+
+        monkeypatch.setattr(instrument_mod, "PilFunction",
+                            exploding_pilfunction)
+        inst = Instrumenter(legacy_calc, MemoDB())
+        with pytest.raises(RuntimeError):
+            inst.instrument(list(originals))
+        for name, original in originals.items():
+            assert getattr(legacy_calc, name) is original
+        assert inst.wrapped == {}
+        assert not isinstance(legacy_calc._incremental_update, PilFunction)
