@@ -36,6 +36,9 @@ DEFAULT_WINDOW_SIZE = 1000
 class ArrivalWindow:
     """Sliding window of heartbeat inter-arrival intervals for one endpoint."""
 
+    __slots__ = ("_intervals", "_interval_sum", "_last_arrival",
+                 "_bootstrap_interval", "_mean_cache")
+
     def __init__(self, size: int = DEFAULT_WINDOW_SIZE,
                  bootstrap_interval: float = 1.0) -> None:
         self._intervals: Deque[float] = deque(maxlen=size)
@@ -44,6 +47,11 @@ class ArrivalWindow:
         # Cassandra seeds the window with half the expected gossip interval
         # so a freshly discovered endpoint is not instantly suspicious.
         self._bootstrap_interval = bootstrap_interval / 2.0
+        #: Memoized ``_interval_sum / len``: phi is polled once per peer per
+        #: conviction sweep but the window only changes on arrivals.  The
+        #: cache stores the exact division result -- never a rescaled form
+        #: -- so cached and uncached phi are bit-identical.
+        self._mean_cache: Optional[float] = None
 
     @property
     def last_arrival(self) -> Optional[float]:
@@ -52,23 +60,29 @@ class ArrivalWindow:
 
     def add(self, now: float) -> None:
         """Record a heartbeat arrival at ``now``."""
-        if self._last_arrival is None:
+        last = self._last_arrival
+        if last is None:
             interval = self._bootstrap_interval
         else:
-            interval = now - self._last_arrival
+            interval = now - last
             if interval < 0:
                 raise ValueError("arrival time went backwards")
         self._last_arrival = now
-        if len(self._intervals) == self._intervals.maxlen:
-            self._interval_sum -= self._intervals[0]
-        self._intervals.append(interval)
+        intervals = self._intervals
+        if len(intervals) == intervals.maxlen:
+            self._interval_sum -= intervals[0]
+        intervals.append(interval)
         self._interval_sum += interval
+        self._mean_cache = None
 
     def mean(self) -> float:
         """Mean inter-arrival interval over the window."""
         if not self._intervals:
             return self._bootstrap_interval
-        return self._interval_sum / len(self._intervals)
+        mean = self._mean_cache
+        if mean is None:
+            mean = self._mean_cache = self._interval_sum / len(self._intervals)
+        return mean
 
     def phi(self, now: float) -> float:
         """Current suspicion level; 0 if no arrival has ever been seen."""
@@ -107,11 +121,12 @@ class PhiAccrualFailureDetector:
         self.stats = FailureDetectorStats()
 
     def _window(self, endpoint: str) -> ArrivalWindow:
-        if endpoint not in self._windows:
-            self._windows[endpoint] = ArrivalWindow(
+        window = self._windows.get(endpoint)
+        if window is None:
+            window = self._windows[endpoint] = ArrivalWindow(
                 size=self.window_size, bootstrap_interval=self.expected_interval
             )
-        return self._windows[endpoint]
+        return window
 
     def report(self, endpoint: str, now: float) -> None:
         """Feed one heartbeat arrival for ``endpoint``."""
@@ -128,10 +143,30 @@ class PhiAccrualFailureDetector:
         return value
 
     def should_convict(self, endpoint: str, now: float) -> bool:
-        """True when suspicion for ``endpoint`` exceeds the threshold."""
-        convict = self.phi(endpoint, now) > self.phi_threshold
+        """True when suspicion for ``endpoint`` exceeds the threshold.
+
+        Inlines :meth:`phi` (same arithmetic, same ``max_phi_seen`` update):
+        the conviction sweep runs once per peer per gossip round, making
+        this the detector's hottest entry point.
+        """
+        window = self._windows.get(endpoint)
+        if window is None or window._last_arrival is None:
+            value = 0.0
+        else:
+            # window.mean() inlined through its cache slot: one attribute
+            # read on the (overwhelmingly common) cached path.
+            mean = window._mean_cache
+            if mean is None:
+                mean = window.mean()
+            if mean < 1e-9:
+                mean = 1e-9
+            value = PHI_FACTOR * (now - window._last_arrival) / mean
+        stats = self.stats
+        if value > stats.max_phi_seen:
+            stats.max_phi_seen = value
+        convict = value > self.phi_threshold
         if convict:
-            self.stats.convictions += 1
+            stats.convictions += 1
         return convict
 
     def forget(self, endpoint: str) -> None:

@@ -45,6 +45,75 @@ SEED_GOSSIP_PROBABILITY = 0.1
 DEAD_GOSSIP_PROBABILITY = 0.1
 
 
+class TrackedSet(set):
+    """A set that counts its own mutations.
+
+    The gossiper sorts its live/unreachable views every round and every
+    conviction sweep; the counter lets those sorted lists be cached and
+    rebuilt only when membership actually changed.  Tracking at the
+    container level keeps external writers (tests and the storage layer
+    mutate these sets directly) correct without any invalidation calls.
+    """
+
+    __slots__ = ("mutations",)
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.mutations = 0
+
+    def add(self, element) -> None:
+        super().add(element)
+        self.mutations += 1
+
+    def discard(self, element) -> None:
+        super().discard(element)
+        self.mutations += 1
+
+    def remove(self, element) -> None:
+        super().remove(element)
+        self.mutations += 1
+
+    def pop(self):
+        self.mutations += 1
+        return super().pop()
+
+    def clear(self) -> None:
+        self.mutations += 1
+        super().clear()
+
+    def update(self, *others) -> None:
+        self.mutations += 1
+        super().update(*others)
+
+    def difference_update(self, *others) -> None:
+        self.mutations += 1
+        super().difference_update(*others)
+
+    def intersection_update(self, *others) -> None:
+        self.mutations += 1
+        super().intersection_update(*others)
+
+    def symmetric_difference_update(self, other) -> None:
+        self.mutations += 1
+        super().symmetric_difference_update(other)
+
+    def __ior__(self, other):
+        self.mutations += 1
+        return super().__ior__(other)
+
+    def __iand__(self, other):
+        self.mutations += 1
+        return super().__iand__(other)
+
+    def __isub__(self, other):
+        self.mutations += 1
+        return super().__isub__(other)
+
+    def __ixor__(self, other):
+        self.mutations += 1
+        return super().__ixor__(other)
+
+
 @dataclass
 class GossipConfig:
     interval: float = 1.0
@@ -91,11 +160,21 @@ class Gossiper:
             expected_interval=self.config.interval,
         )
         self.endpoint_state_map: Dict[str, EndpointState] = {}
-        self.live_endpoints: Set[str] = set()
-        self.unreachable_endpoints: Set[str] = set()
+        self.live_endpoints: Set[str] = TrackedSet()
+        self.unreachable_endpoints: Set[str] = TrackedSet()
         self._rng_stream = f"gossip:{node_id}"
         self.rounds = 0
         self.states_applied = 0
+        # Cached sorted views (snapshots; rebuilt when the backing
+        # container's mutation counter / size moves).
+        self._live_token = -1
+        self._live_sorted: List[str] = []
+        self._noself_token = -1
+        self._noself_sorted: List[str] = []
+        self._dead_token = -1
+        self._dead_sorted: List[str] = []
+        self._esm_len = -1
+        self._esm_sorted: List[str] = []
         self._init_own_state(generation)
 
     # -- local state ------------------------------------------------------------
@@ -125,6 +204,48 @@ class Gossiper:
         """
         self._apply_state(endpoint, blob)
 
+    # -- cached sorted views ------------------------------------------------------
+
+    def _sorted_live(self) -> List[str]:
+        """``sorted(live_endpoints)`` cached on the set's mutation counter.
+
+        Returns a snapshot list: callers may mutate the set while iterating
+        it (the conviction sweep does), which only schedules a rebuild for
+        the *next* call.
+        """
+        live = self.live_endpoints
+        token = getattr(live, "mutations", -1)
+        if token < 0:
+            return sorted(live)
+        if token != self._live_token:
+            self._live_sorted = sorted(live)
+            self._live_token = token
+        return self._live_sorted
+
+    def _sorted_unreachable(self) -> List[str]:
+        """``sorted(unreachable_endpoints)``, cached like :meth:`_sorted_live`."""
+        dead = self.unreachable_endpoints
+        token = getattr(dead, "mutations", -1)
+        if token < 0:
+            return sorted(dead)
+        if token != self._dead_token:
+            self._dead_sorted = sorted(dead)
+            self._dead_token = token
+        return self._dead_sorted
+
+    def _sorted_endpoints(self) -> List[str]:
+        """``sorted(endpoint_state_map)`` cached on map size.
+
+        Size is a sufficient validity token because the gossiper only ever
+        adds endpoints or replaces the state behind an existing key -- it
+        never deletes one.
+        """
+        esm = self.endpoint_state_map
+        if len(esm) != self._esm_len:
+            self._esm_sorted = sorted(esm)
+            self._esm_len = len(esm)
+        return self._esm_sorted
+
     # -- gossip round -------------------------------------------------------------
 
     def do_round(self) -> List[str]:
@@ -136,10 +257,20 @@ class Gossiper:
         self.own_state.heartbeat.beat(self.versions)
         self.own_state.update_timestamp = self._now()
         targets: List[str] = []
-        live = [e for e in self.live_endpoints if e != self.node_id]
+        # Filtering the cached sorted list preserves sorted order, so the
+        # rng.choice draw is identical to the sorted([...]) it replaces;
+        # the filtered view is itself cached on the same mutation token.
+        token = getattr(self.live_endpoints, "mutations", -1)
+        if token >= 0 and token == self._noself_token:
+            live = self._noself_sorted
+        else:
+            live = [e for e in self._sorted_live() if e != self.node_id]
+            if token >= 0:
+                self._noself_token = token
+                self._noself_sorted = live
         if live:
-            targets.append(self.rng.choice(self._rng_stream, sorted(live)))
-        dead = sorted(self.unreachable_endpoints)
+            targets.append(self.rng.choice(self._rng_stream, live))
+        dead = self._sorted_unreachable()
         if dead and self.rng.random(self._rng_stream) < self.config.dead_probability:
             targets.append(self.rng.choice(self._rng_stream, dead))
         gossiped_to_seed = any(t in self.seeds for t in targets)
@@ -147,7 +278,7 @@ class Gossiper:
             not live or self.rng.random(self._rng_stream) < self.config.seed_probability
         ):
             targets.append(self.rng.choice(self._rng_stream, self.seeds))
-        digests = make_digests(self.endpoint_state_map)
+        digests = make_digests(self.endpoint_state_map, self._sorted_endpoints())
         for target in targets:
             self._send(target, SYN, digests)
         return targets
@@ -168,28 +299,41 @@ class Gossiper:
         send_states: Dict[str, tuple] = {}
         requests: List[Tuple[str, int]] = []
         seen = set()
-        for digest in digests:
-            seen.add(digest.endpoint)
-            local = self.endpoint_state_map.get(digest.endpoint)
+        seen_add = seen.add
+        requests_append = requests.append
+        esm = self.endpoint_state_map
+        esm_get = esm.get
+        # O(N) digests per SYN: unpack the digest tuples directly and defer
+        # the local max-version read to the only branch that needs it.
+        for endpoint, generation, max_version in digests:
+            seen_add(endpoint)
+            local = esm_get(endpoint)
             if local is None:
-                requests.append((digest.endpoint, 0))
+                requests_append((endpoint, 0))
                 continue
-            local_version = local.max_version()
             local_generation = local.heartbeat.generation
-            if digest.generation > local_generation:
-                requests.append((digest.endpoint, 0))
-            elif digest.generation < local_generation:
-                send_states[digest.endpoint] = local.to_blob()
-            elif digest.max_version > local_version:
-                requests.append((digest.endpoint, local_version))
-            elif digest.max_version < local_version:
-                send_states[digest.endpoint] = local.delta_blob(digest.max_version)
-        # Endpoints the sender has never heard of.
-        for endpoint, local in self.endpoint_state_map.items():
-            if endpoint not in seen:
+            if generation == local_generation:
+                local_version = local.max_version()
+                if max_version > local_version:
+                    requests_append((endpoint, local_version))
+                elif max_version < local_version:
+                    send_states[endpoint] = local.delta_blob(max_version)
+            elif generation > local_generation:
+                requests_append((endpoint, 0))
+            else:
                 send_states[endpoint] = local.to_blob()
+        # Endpoints the sender has never heard of.  In an established
+        # cluster the digest list covers everything we know, so a C-speed
+        # superset check replaces the per-endpoint scan.
+        if len(seen) < len(esm) or not seen.issuperset(esm):
+            for endpoint, local in esm.items():
+                if endpoint not in seen:
+                    send_states[endpoint] = local.to_blob()
         self._send(src, ACK, (send_states, requests))
-        return len(digests) + sum(blob_entry_count(b) for b in send_states.values())
+        if send_states:
+            return len(digests) + sum(blob_entry_count(b)
+                                      for b in send_states.values())
+        return len(digests)
 
     def _handle_ack(self, payload, src: str) -> int:
         send_states, requests = payload
@@ -234,24 +378,29 @@ class Gossiper:
                 if key == STATUS:
                     self._notify_status(endpoint, value, state)
             return
-        if generation < local.heartbeat.generation:
+        local_hb = local.heartbeat
+        if generation < local_hb.generation:
             return  # stale incarnation
-        if hb_version > local.heartbeat.version:
-            local.heartbeat.version = hb_version
+        if hb_version > local_hb.version:
+            local_hb.version = hb_version
             local.update_timestamp = now
             self.states_applied += 1
             self.fd.report(endpoint, now)
             self._mark_alive(endpoint, local)
+        if not app_items:
+            return
         # Apply every app-state value before firing STATUS notifications:
         # a BOOT/NORMAL handler needs the TOKENS entry riding in the same
         # blob, and key-sorted application would otherwise deliver STATUS
         # first (real Cassandra orders ApplicationState handling the same
         # way for the same reason).
         status_changes = []
+        app_states = local.app_states
+        app_get = app_states.get
         for key, value, version, item_payload in app_items:
-            existing = local.app_states.get(key)
+            existing = app_get(key)
             if existing is None or version > existing.version:
-                local.app_states[key] = VersionedValue(value, version, item_payload)
+                app_states[key] = VersionedValue(value, version, item_payload)
                 if key == STATUS:
                     status_changes.append(value)
         for value in status_changes:
@@ -290,17 +439,20 @@ class Gossiper:
         """
         now = self._now()
         convicted: List[str] = []
-        for endpoint in sorted(self.live_endpoints):
-            if endpoint == self.node_id:
+        node_id = self.node_id
+        esm_get = self.endpoint_state_map.get
+        should_convict = self.fd.should_convict
+        for endpoint in self._sorted_live():
+            if endpoint == node_id:
                 continue
-            state = self.endpoint_state_map.get(endpoint)
+            state = esm_get(endpoint)
             if state is None or state.status() == STATUS_LEFT:
                 continue
-            if self.fd.should_convict(endpoint, now):
+            if should_convict(endpoint, now):
                 self.live_endpoints.discard(endpoint)
                 self.unreachable_endpoints.add(endpoint)
                 state.alive = False
-                self.flaps.record_conviction(now, self.node_id, endpoint)
+                self.flaps.record_conviction(now, node_id, endpoint)
                 convicted.append(endpoint)
         return convicted
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Dict, List
 
 from ..annotations import declare_cost
@@ -167,7 +168,15 @@ def pending_ranges_input_key(metadata: TokenMetadata, rf: int,
     enough (section 5's "order determinism" bounds the input space; content
     keying collapses identical states).
     """
-    return f"pending-ranges:{variant.value}:rf={rf}:ring={metadata.content_hash:016x}"
+    return _intern_input_key(variant.value, rf, metadata.content_hash)
+
+
+@lru_cache(maxsize=4096)
+def _intern_input_key(variant_value: str, rf: int, ring_hash: int) -> str:
+    """Interned key strings: converged rings hash alike, so replay asks for
+    the same handful of keys thousands of times; formatting (and allocating)
+    the string once per distinct ring keeps it off the hot path."""
+    return f"pending-ranges:{variant_value}:rf={rf}:ring={ring_hash:016x}"
 
 
 def serialize_pending(pending: Dict[str, List[TokenRange]]) -> Dict[str, List[List[int]]]:

@@ -17,6 +17,8 @@ Commands map one-to-one onto the library's main entry points:
 * ``sweep``      -- run a declarative (bug, scale, seed, mode, chaos) grid
                     through the parallel sweep engine with a persistent
                     recording store and incremental result cache;
+* ``bench``      -- run the perf microbenchmark suite and record or gate
+                    the committed ``BENCH_*.json`` baselines;
 * ``study``      -- print the 38-bug study population table;
 * ``colocation`` -- print max-colocation factors and bottlenecks;
 * ``bugs``       -- list the reproducible bug configurations.
@@ -282,6 +284,50 @@ def _cmd_colocation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import (
+        DEFAULT_BASELINE_NAMES,
+        baseline_path,
+        compare,
+        load_baseline,
+        run_suite,
+    )
+
+    names = args.names if args.names else list(DEFAULT_BASELINE_NAMES)
+    mode = "quick " if args.quick else ""
+    print(f"running {mode}benchmarks: {', '.join(names)} "
+          f"(repeats={args.repeats})...")
+    results = run_suite(names=names, quick=args.quick, repeats=args.repeats,
+                        progress=lambda name: print(f"  {name}...",
+                                                    flush=True))
+    print()
+    for name, result in results.items():
+        print(f"{name:<16} {result.wall_seconds:>8.3f}s "
+              f"{result.events_per_sec:>12,.0f} ev/s "
+              f"{result.peak_rss_kb:>9,} KB peak RSS")
+
+    status = 0
+    if args.update:
+        for name, result in results.items():
+            path = baseline_path(args.dir, name)
+            result.save(path)
+            print(f"baseline written: {path}")
+    if args.compare:
+        print()
+        for name, result in results.items():
+            baseline = load_baseline(args.dir, name)
+            if baseline is None:
+                print(f"{name:<16} MISSING    no baseline at "
+                      f"{baseline_path(args.dir, name)}")
+                status = 1
+                continue
+            verdict = compare(result, baseline, tolerance=args.tolerance)
+            print(verdict.render())
+            if not verdict.ok:
+                status = 1
+    return status
+
+
 def _cmd_bugs(args: argparse.Namespace) -> int:
     for bug in all_bugs():
         marker = "fixed" if bug.fixed else "BUGGY"
@@ -438,6 +484,27 @@ def build_parser() -> argparse.ArgumentParser:
     colocation = sub.add_parser("colocation",
                                 help="print colocation limits")
     colocation.set_defaults(func=_cmd_colocation)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run perf microbenchmarks; record or gate BENCH_*.json baselines")
+    bench.add_argument("--names", nargs="*", default=None,
+                       help="benchmarks to run (default: the baseline set)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per benchmark (median wins)")
+    bench.add_argument("--quick", action="store_true",
+                       help="shrunken workloads for smoke runs (results are "
+                            "not comparable to full baselines)")
+    bench.add_argument("--update", action="store_true",
+                       help="write BENCH_<name>.json baselines")
+    bench.add_argument("--compare", action="store_true",
+                       help="gate against committed baselines (exit 1 on "
+                            "regression)")
+    bench.add_argument("--tolerance", type=float, default=0.15,
+                       help="allowed normalized-throughput drop (default 15%%)")
+    bench.add_argument("--dir", default=".",
+                       help="directory holding BENCH_*.json (default: cwd)")
+    bench.set_defaults(func=_cmd_bench)
 
     bugs = sub.add_parser("bugs", help="list reproducible bugs")
     bugs.set_defaults(func=_cmd_bugs)

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Format tag written into serialized databases (bump on incompatible change).
 MEMO_FORMAT = "repro-memo-db-v1"
@@ -240,3 +241,88 @@ class MemoDB:
                 self._records[record.key()] = record
                 added += 1
         return added
+
+
+class MemoLruFront:
+    """A small LRU in front of :meth:`MemoDB.get` caching parsed outputs.
+
+    Replay resolves the *same* content keys over and over (every node whose
+    ring view has converged hits the identical record), and each hit used
+    to re-deserialize the recorded output from its JSON-ready form.  The
+    front caches ``(record, deserialized_output)`` per ``(func_id,
+    input_key)`` and serves repeats without touching the deserializer.
+
+    Correctness notes:
+
+    * The underlying DB's ``lookups``/``hits`` counters advance on LRU hits
+      exactly as a direct ``get`` would, so observability and reports are
+      unchanged (the counters are not part of the DB's canonical payload,
+      so its content digest is unaffected either way).
+    * Dict outputs are returned as a fresh top-level shallow copy per hit:
+      callers mutate the mapping's top level (``pending_ranges.pop``) but
+      never the inner values, so sharing below the first level is safe
+      while sharing the mapping itself would leak one node's mutations
+      into another's replay.  Non-dict outputs are re-deserialized per
+      call -- byte-for-byte the uncached behaviour.
+    """
+
+    def __init__(self, db: MemoDB, deserialize: Callable[[Any], Any],
+                 capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.db = db
+        self.deserialize = deserialize
+        self.capacity = capacity
+        self._cache: "OrderedDict[Tuple[str, str], Tuple[MemoRecord, Any]]" = (
+            OrderedDict())
+        self.lru_hits = 0
+        self.lru_misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, func_id: str, input_key: str):
+        """``(record, deserialized_output)``; ``(None, None)`` on DB miss."""
+        key = (func_id, input_key)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.lru_hits += 1
+            db = self.db
+            db.lookups += 1
+            db.hits += 1
+            record, output = cached
+            return record, self._materialize(record, output)
+        self.lru_misses += 1
+        record = self.db.get(func_id, input_key)
+        if record is None:
+            return None, None
+        output = self.deserialize(record.output)
+        self._cache[key] = (record, output)
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+        # The cached object must never escape for dict outputs -- the
+        # caller owns (and mutates) what we hand back.
+        return record, (dict(output) if isinstance(output, dict) else output)
+
+    def _materialize(self, record: MemoRecord, output: Any):
+        if isinstance(output, dict):
+            return dict(output)
+        return self.deserialize(record.output)
+
+    def hit_rate(self) -> float:
+        """Fraction of front lookups served without deserializing."""
+        total = self.lru_hits + self.lru_misses
+        return self.lru_hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for the metrics collector."""
+        return {
+            "lru_hits": self.lru_hits,
+            "lru_misses": self.lru_misses,
+            "lru_evictions": self.evictions,
+            "lru_size": len(self._cache),
+            "lru_hit_rate": self.hit_rate(),
+        }

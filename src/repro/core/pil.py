@@ -28,6 +28,7 @@ from ..cassandra.node import CalcExecutor, CalcRequest
 from ..cassandra.pending_ranges import deserialize_pending, serialize_pending
 from ..sim.cpu import PilCpu
 from ..sim.kernel import Compute, Simulator
+from .memoization import MemoLruFront
 
 #: The function identity under which pending-range calculations are
 #: memoized.  Integrating another target system supplies its own func_id
@@ -98,23 +99,30 @@ class PilReplayExecutor(CalcExecutor):
     def __init__(self, db, sim: Simulator,
                  miss_policy: MissPolicy = MissPolicy.MODEL,
                  func_id: str = CALC_FUNC_ID,
-                 deserialize: Callable = deserialize_pending) -> None:
+                 deserialize: Callable = deserialize_pending,
+                 lru_size: int = 256) -> None:
         self.db = db
         self.pil_cpu = PilCpu(sim, name="pil")
         self.miss_policy = miss_policy
         self.func_id = func_id
         self.deserialize = deserialize
+        #: Content keys repeat heavily across converged nodes; the LRU
+        #: front serves them without re-deserializing the recorded output.
+        self.lru = MemoLruFront(db, deserialize, capacity=lru_size)
+        self._pil_tags: Dict[str, str] = {}
         self.hits = 0
         self.misses = 0
 
     def execute(self, node, request: CalcRequest):
         """Execute."""
-        record = self.db.get(self.func_id, request.input_key)
+        record, output = self.lru.get(self.func_id, request.input_key)
         if record is not None:
             self.hits += 1
-            output = self.deserialize(record.output)
-            elapsed = yield Compute(self.pil_cpu, record.duration,
-                                    tag=f"pil:{node.node_id}")
+            node_id = node.node_id
+            tag = self._pil_tags.get(node_id)
+            if tag is None:
+                tag = self._pil_tags[node_id] = f"pil:{node_id}"
+            elapsed = yield Compute(self.pil_cpu, record.duration, tag=tag)
             return output, elapsed
         self.misses += 1
         if self.miss_policy is MissPolicy.STRICT:
@@ -135,9 +143,11 @@ class PilReplayExecutor(CalcExecutor):
     def stats(self) -> Dict[str, float]:
         """Executor statistics for reports."""
         total = self.hits + self.misses
-        return {
+        stats = {
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / total if total else 0.0,
             "slept_seconds": self.pil_cpu.slept_seconds,
         }
+        stats.update(self.lru.stats())
+        return stats

@@ -97,6 +97,7 @@ class ReplayHarness:
         watchdog_interval: float = 1.0,
         faults: Optional[FaultSchedule] = None,
         tracer=None,
+        lru_size: int = 256,
     ) -> None:
         if config.mode is not Mode.PIL:
             raise ValueError("replay requires a PIL-mode cluster config")
@@ -108,6 +109,9 @@ class ReplayHarness:
         self.watchdog_interval = watchdog_interval
         self.faults = faults
         self.tracer = tracer
+        #: Capacity of the executor's deserialized-output LRU front
+        #: (:class:`~repro.core.memoization.MemoLruFront`).
+        self.lru_size = lru_size
 
     def _watchdog(self, sim: Simulator, enforcer: OrderEnforcer):
         """Skip past recorded-but-missing messages when replay stalls.
@@ -129,7 +133,8 @@ class ReplayHarness:
         cluster = Cluster(self.config, order_enforcer=enforcer,
                           tracer=self.tracer)
         executor = PilReplayExecutor(self.db, cluster.sim,
-                                     miss_policy=self.miss_policy)
+                                     miss_policy=self.miss_policy,
+                                     lru_size=self.lru_size)
         cluster.executor = executor
         install_faults(cluster, self.faults)
         if enforcer is not None:

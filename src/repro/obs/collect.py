@@ -65,8 +65,31 @@ class ClusterCollector:
         reg = self.registry
         reg.counter("net.sent").set_total(net.sent)
         reg.counter("net.delivered").set_total(net.delivered)
+        reg.counter("net.batched_sends").set_total(
+            getattr(net, "batched_sends", 0))
+        reg.counter("net.batch_deliveries").set_total(
+            getattr(net, "batch_deliveries", 0))
+        reg.gauge("net.max_batch").set(getattr(net, "max_batch", 0))
         for reason, count in net.drop_reasons().items():
             reg.counter("net.dropped", reason=reason).set_total(count)
+
+    def _mirror_scheduler(self) -> None:
+        """Event-queue counters (two-tier scheduler observability)."""
+        sim = getattr(self.cluster, "sim", None)
+        events = getattr(sim, "events", None)
+        if events is None:
+            return
+        reg = self.registry
+        scheduler = getattr(sim, "scheduler", "heap")
+        reg.counter("sched.wheel_events", scheduler=scheduler).set_total(
+            getattr(events, "wheel_events", 0))
+        reg.counter("sched.far_events", scheduler=scheduler).set_total(
+            getattr(events, "far_events", 0))
+        reg.counter("sched.compactions", scheduler=scheduler).set_total(
+            getattr(events, "compactions", 0))
+        reg.gauge("sched.storage", scheduler=scheduler).set(
+            events.storage_size())
+        reg.gauge("sched.live", scheduler=scheduler).set(len(events))
 
     def _mirror_cpus(self, cpus) -> None:
         reg = self.registry
@@ -116,6 +139,13 @@ class ClusterCollector:
         reg.counter("memo.conflicts").set_total(getattr(db, "conflicts", 0))
         reg.gauge("memo.hit_rate").set(db.hit_rate())
         reg.gauge("memo.records").set(len(db))
+        lru = getattr(executor, "lru", None)
+        if lru is not None:
+            reg.counter("memo.lru_hits").set_total(lru.lru_hits)
+            reg.counter("memo.lru_misses").set_total(lru.lru_misses)
+            reg.counter("memo.lru_evictions").set_total(lru.evictions)
+            reg.gauge("memo.lru_hit_rate").set(lru.hit_rate())
+            reg.gauge("memo.lru_size").set(len(lru))
 
     # -- sampling -------------------------------------------------------------
 
@@ -141,6 +171,7 @@ class ClusterCollector:
             self._mirror_cpus(cpus.values())
             self._mirror_gossip(nodes)
         self._mirror_network()
+        self._mirror_scheduler()
         self._mirror_flaps()
         self._mirror_memo()
         snapshot = self.registry.snapshot(now=cluster.sim.now)

@@ -1,0 +1,38 @@
+"""Tracked performance benchmarks (``repro bench``).
+
+The simulator's pitch is *fast* large-scale debugging; this package pins
+that property down.  :mod:`~repro.perf.bench` is the harness (variance-
+controlled timing, machine-speed calibration, ``BENCH_<name>.json``
+baselines, regression gating); :mod:`~repro.perf.micro` defines the
+microbenchmarks themselves (event churn, N-node gossip rounds, memoized
+replay).
+"""
+
+from .bench import (
+    BENCH_FORMAT,
+    DEFAULT_TOLERANCE,
+    BenchResult,
+    Comparison,
+    baseline_path,
+    calibrate,
+    compare,
+    load_baseline,
+    peak_rss_kb,
+)
+from .micro import BENCHMARKS, DEFAULT_BASELINE_NAMES, run_benchmark, run_suite
+
+__all__ = [
+    "BENCH_FORMAT",
+    "DEFAULT_TOLERANCE",
+    "BenchResult",
+    "Comparison",
+    "BENCHMARKS",
+    "DEFAULT_BASELINE_NAMES",
+    "baseline_path",
+    "calibrate",
+    "compare",
+    "load_baseline",
+    "peak_rss_kb",
+    "run_benchmark",
+    "run_suite",
+]

@@ -1,0 +1,241 @@
+"""The perf-benchmark harness: timing, calibration, baselines, gating.
+
+Design notes:
+
+* **Variance control.** Each benchmark runs its timed section several
+  times with the garbage collector disabled and reports the *median* wall
+  time -- medians are robust to the one-off hiccups (page faults, CI
+  noisy neighbours) that make mean-of-few-samples useless as a gate.
+* **Machine calibration.** Raw wall times are not comparable across
+  machines (or across days on shared CI runners), so every result embeds
+  the duration of a fixed pure-Python spin workload measured in the same
+  process.  Comparisons normalize by it: a run that is 20% slower on a
+  machine that is itself 20% slower on the spin is *not* a regression.
+* **Baselines are files.** ``BENCH_<name>.json`` at the repository root is
+  the committed contract; ``repro bench --compare`` fails when the
+  current tree's normalized throughput drops more than the tolerance
+  (default 15%) below it.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Format tag written into baseline files (bump on incompatible change).
+BENCH_FORMAT = "repro-bench-v1"
+
+#: Maximum allowed relative drop in normalized throughput before the
+#: comparison fails (the CI gate).
+DEFAULT_TOLERANCE = 0.15
+
+#: Iterations of the calibration spin (fixed: part of the format).
+CALIBRATION_SPINS = 300_000
+
+
+def peak_rss_kb() -> int:
+    """Process peak resident set size in KiB (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # reported in bytes there
+        usage //= 1024
+    return int(usage)
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds for a fixed pure-Python workload: the machine yardstick.
+
+    Takes the *minimum* over a few repeats -- the spin has no variance of
+    its own, so the minimum is the cleanest estimate of machine speed.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(CALIBRATION_SPINS):
+            acc += i * i & 0xFF
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+@dataclass
+class BenchResult:
+    """One benchmark measurement with everything needed to compare it later."""
+
+    name: str
+    wall_seconds: float          # median over repeats
+    events: int                  # work units per repeat (benchmark-defined)
+    events_per_sec: float
+    peak_rss_kb: int
+    repeats: int
+    calibration_seconds: float   # spin duration on the measuring machine
+    #: Workload descriptor: sizes/durations that must match between a
+    #: baseline and a candidate for the comparison to mean anything.
+    workload: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def normalized_rate(self) -> float:
+        """Machine-independent throughput: events per calibration unit."""
+        return self.events_per_sec * self.calibration_seconds
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "format": BENCH_FORMAT,
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "peak_rss_kb": self.peak_rss_kb,
+            "repeats": self.repeats,
+            "calibration_seconds": self.calibration_seconds,
+            "workload": self.workload,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "BenchResult":
+        """Inverse of :meth:`to_payload`."""
+        fmt = payload.get("format", BENCH_FORMAT)
+        if fmt != BENCH_FORMAT:
+            raise ValueError(f"unknown bench format {fmt!r} "
+                             f"(expected {BENCH_FORMAT!r})")
+        return cls(
+            name=payload["name"],
+            wall_seconds=float(payload["wall_seconds"]),
+            events=int(payload["events"]),
+            events_per_sec=float(payload["events_per_sec"]),
+            peak_rss_kb=int(payload.get("peak_rss_kb", 0)),
+            repeats=int(payload.get("repeats", 1)),
+            calibration_seconds=float(payload["calibration_seconds"]),
+            workload=dict(payload.get("workload", {})),
+            extra=dict(payload.get("extra", {})),
+        )
+
+    def save(self, path) -> None:
+        """Write the baseline file (stable key order for clean diffs)."""
+        Path(path).write_text(
+            json.dumps(self.to_payload(), indent=1, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "BenchResult":
+        """Read a baseline previously written with :meth:`save`."""
+        return cls.from_payload(json.loads(Path(path).read_text()))
+
+
+def baseline_path(root, name: str) -> Path:
+    """``<root>/BENCH_<name>.json``."""
+    return Path(root) / f"BENCH_{name}.json"
+
+
+def load_baseline(root, name: str) -> Optional[BenchResult]:
+    """The committed baseline for ``name``, or None when absent."""
+    path = baseline_path(root, name)
+    if not path.exists():
+        return None
+    return BenchResult.load(path)
+
+
+def run_timed(
+    fn: Callable[[], Tuple[float, int]],
+    name: str,
+    repeats: int = 3,
+    workload: Optional[Dict[str, Any]] = None,
+    calibration_seconds: Optional[float] = None,
+) -> BenchResult:
+    """Run ``fn`` ``repeats`` times and fold the results into a BenchResult.
+
+    ``fn`` performs its own setup (untimed) and returns ``(wall_seconds,
+    events)`` for its timed section.  GC is disabled around every call so
+    collection pauses land outside the measurement.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive: {repeats}")
+    walls: List[float] = []
+    events = 0
+    for _ in range(repeats):
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            wall, events = fn()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        walls.append(wall)
+    wall = statistics.median(walls)
+    if calibration_seconds is None:
+        calibration_seconds = calibrate()
+    return BenchResult(
+        name=name,
+        wall_seconds=wall,
+        events=events,
+        events_per_sec=events / wall if wall > 0 else 0.0,
+        peak_rss_kb=peak_rss_kb(),
+        repeats=repeats,
+        calibration_seconds=calibration_seconds,
+        workload=dict(workload or {}),
+        extra={"wall_all": walls},
+    )
+
+
+@dataclass
+class Comparison:
+    """Verdict of one candidate-vs-baseline comparison."""
+
+    name: str
+    ok: bool
+    ratio: float                 # candidate normalized rate / baseline's
+    tolerance: float
+    candidate: BenchResult
+    baseline: BenchResult
+    message: str = ""
+
+    def render(self) -> str:
+        """One human-readable verdict line."""
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (f"{self.name:<16} {verdict:<10} "
+                f"{self.candidate.events_per_sec:>12,.0f} ev/s "
+                f"(normalized {self.ratio:.2f}x baseline, "
+                f"gate {1.0 - self.tolerance:.2f}x)  {self.message}")
+
+
+def compare(candidate: BenchResult, baseline: BenchResult,
+            tolerance: float = DEFAULT_TOLERANCE) -> Comparison:
+    """Gate ``candidate`` against ``baseline``.
+
+    Fails when the candidate's *normalized* throughput (events per
+    calibration unit -- machine speed divided out) drops more than
+    ``tolerance`` below the baseline's.  Refuses to compare results whose
+    workload descriptors differ: a smaller workload is not a speedup.
+    """
+    if candidate.name != baseline.name:
+        raise ValueError(f"comparing different benchmarks: "
+                         f"{candidate.name!r} vs {baseline.name!r}")
+    if candidate.workload != baseline.workload:
+        raise ValueError(
+            f"benchmark {candidate.name!r}: workload changed "
+            f"({candidate.workload!r} vs baseline {baseline.workload!r}); "
+            f"re-record the baseline with --update")
+    base_rate = baseline.normalized_rate()
+    cand_rate = candidate.normalized_rate()
+    ratio = cand_rate / base_rate if base_rate > 0 else float("inf")
+    ok = ratio >= (1.0 - tolerance)
+    message = "" if ok else (
+        f"normalized throughput fell {100 * (1 - ratio):.1f}% "
+        f"(> {100 * tolerance:.0f}% allowed)")
+    return Comparison(name=candidate.name, ok=ok, ratio=ratio,
+                      tolerance=tolerance, candidate=candidate,
+                      baseline=baseline, message=message)

@@ -83,6 +83,7 @@ class ProcessorSharingCpu(CpuModel):
         self.speed = speed
         self.context_switch_coeff = context_switch_coeff
         self.name = name
+        self._completion_tag = f"ps-complete:{name}"
         self._jobs: Dict[int, _Job] = {}
         self._job_ids = 0
         self._last_update = sim.now
@@ -182,7 +183,6 @@ class ProcessorSharingCpu(CpuModel):
         """(Re)arm the next-completion event after any membership change."""
         if self._next_completion is not None:
             self._next_completion.cancel()
-            self.sim.events.note_cancelled()
             self._next_completion = None
         if not self._jobs:
             return
@@ -191,7 +191,7 @@ class ProcessorSharingCpu(CpuModel):
         delay = max(shortest / rate, 0.0)
         self._next_completion = self.sim.schedule(
             delay, self._on_completion_due, priority=PRIORITY_HIGH,
-            tag=f"ps-complete:{self.name}",
+            tag=self._completion_tag,
         )
 
     def _on_completion_due(self) -> None:
@@ -243,6 +243,9 @@ class PilCpu(CpuModel):
         self.slept_seconds = 0.0
         self.completed_jobs = 0
         self.contention_seconds = 0.0  # PIL sleeps never contend
+        #: Tag strings seen so far; replay submits the same per-node tags
+        #: thousands of times, so the f-string is paid once per distinct tag.
+        self._tag_cache: Dict[str, str] = {}
 
     def submit(self, cost: float, process: "Process", tag: str = "") -> None:
         """Submit ``cost`` seconds of demand; resume ``process`` when served."""
@@ -254,8 +257,10 @@ class PilCpu(CpuModel):
         if tracer is not None and tracer.enabled:
             tracer.span(self.sim.now, self.sim.now + cost, "compute",
                         self.name, node=process.name, tag=tag)
-        self.sim.schedule(cost, lambda: process.resume(cost),
-                          tag=f"pil-sleep:{tag}")
+        full_tag = self._tag_cache.get(tag)
+        if full_tag is None:
+            full_tag = self._tag_cache[tag] = f"pil-sleep:{tag}"
+        self.sim.schedule(cost, lambda: process.resume(cost), tag=full_tag)
 
     def utilization(self) -> float:
         """PIL sleeps consume no machine capacity."""

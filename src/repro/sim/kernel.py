@@ -26,7 +26,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Generator, List, Optional
 
-from .events import Event, EventQueue, Trace, PRIORITY_NORMAL
+from .events import Event, EventQueue, Trace, PRIORITY_NORMAL, make_queue
 from .rng import SplittableRng
 
 
@@ -57,7 +57,7 @@ class Timeout(Effect):
     def enact(self, sim: "Simulator", process: "Process") -> None:
         """Arrange for the process to resume when the effect completes."""
         process.pending_event = sim.schedule(
-            self.delay, lambda: process.resume(None), tag=f"timeout:{process.name}"
+            self.delay, lambda: process.resume(None), tag=process._timeout_tag
         )
 
 
@@ -123,6 +123,9 @@ class Process:
         self.sim = sim
         self.gen = gen
         self.name = name
+        #: Precomputed trace tag for Timeout events (hot path: one string
+        #: build per process instead of one per sleep).
+        self._timeout_tag = f"timeout:{name}"
         self.finished = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
@@ -175,7 +178,6 @@ class Process:
             return
         if self.pending_event is not None:
             self.pending_event.cancel()
-            self.sim.events.note_cancelled()
             self.pending_event = None
         if self.wait_target is not None:
             self.wait_target._discard_waiter(self)
@@ -207,6 +209,7 @@ class Channel:
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
+        self._tag = f"chan:{name}"
         self._items: Deque = deque()
         self._enqueue_times: Deque[float] = deque()
         self._getters: Deque[Process] = deque()
@@ -242,7 +245,7 @@ class Channel:
                 self._deliver_or_buffer(item)
             else:
                 getter.resume(item)
-        self.sim.schedule(0.0, fire, tag=f"chan:{self.name}")
+        self.sim.schedule(0.0, fire, tag=self._tag)
 
     def _register_getter(self, process: Process) -> None:
         if self._items:
@@ -388,11 +391,18 @@ class Simulator:
     strict:
         When true (the default), an exception inside a process propagates
         out of :meth:`run` instead of silently killing the process.
+    scheduler:
+        Event-queue implementation: ``"wheel"`` (default, two-tier timer
+        wheel) or ``"heap"`` (classic binary heap).  Both pop the same
+        total order; the knob exists for the differential determinism
+        tests that prove it.
     """
 
-    def __init__(self, seed: int = 0, trace: bool = False, strict: bool = True) -> None:
+    def __init__(self, seed: int = 0, trace: bool = False, strict: bool = True,
+                 scheduler: str = "wheel") -> None:
         self.now = 0.0
-        self.events = EventQueue()
+        self.scheduler = scheduler
+        self.events = make_queue(scheduler)
         self.rng = SplittableRng(seed)
         self.trace = Trace(enabled=trace)
         self.strict = strict
@@ -451,13 +461,22 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or step budget ends."""
         budget = max_steps if max_steps is not None else float("inf")
+        limit = float("inf") if until is None else until
+        events = self.events
+        pop_due = events.pop_due
         while budget > 0:
-            next_time = self.events.peek_time()
-            if next_time is None:
+            # One merged traversal instead of the peek_time + pop pair the
+            # loop used to pay per event.
+            event = pop_due(limit)
+            if event is None:
                 break
-            if until is not None and next_time > until:
-                break
-            self.step()
+            if event.time < self.now:
+                raise SimError(
+                    f"time went backwards: {event.time} < {self.now} ({event.tag})"
+                )
+            self.now = event.time
+            self._steps += 1
+            event.callback()
             budget -= 1
         # Advance the clock to the horizon on every exit path (drained
         # queue, next event past the horizon, step budget exhausted) --

@@ -159,16 +159,27 @@ class Network:
         self.latency = latency if latency is not None else LatencyModel()
         self.enforcer = enforcer
         self._inboxes: Dict[str, Channel] = {}
+        self._known_cache: Optional[List[str]] = None
         self._seq: Dict[Tuple[str, str, str], int] = defaultdict(int)
         self._down: set = set()
         self._cut_pairs: set = set()
         self._degraded: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        #: In-flight same-tick batches: ``(arrival_time, dst) -> [Message]``.
+        #: The first message of a bucket schedules the kernel event; later
+        #: sends landing on the same bucket just append, so N same-tick
+        #: deliveries to one inbox cost one event instead of N closures.
+        self._batches: Dict[Tuple[float, str], List[Message]] = {}
         self.sent = 0
         self.delivered = 0
         self.dropped_down = 0
         self.dropped_cut = 0
         self.dropped_unknown_dst = 0
         self.dropped_degraded = 0
+        #: Messages that joined an already-scheduled batch (diagnostics).
+        self.batched_sends = 0
+        #: Batch events fired / largest batch seen (diagnostics).
+        self.batch_deliveries = 0
+        self.max_batch = 0
         self.delivery_log: List[str] = []
 
     @property
@@ -193,14 +204,23 @@ class Network:
         if node_id in self._inboxes:
             raise ValueError(f"duplicate node id {node_id!r}")
         self._inboxes[node_id] = inbox
+        self._known_cache = None
 
     def deregister(self, node_id: str) -> None:
         """Remove an address (idempotent)."""
         self._inboxes.pop(node_id, None)
+        self._known_cache = None
 
     def known_nodes(self) -> List[str]:
-        """All registered addresses, sorted."""
-        return sorted(self._inboxes)
+        """All registered addresses, sorted (treat as read-only).
+
+        Cached between membership changes; re-sorting per call showed up in
+        large-N profiles.
+        """
+        cache = self._known_cache
+        if cache is None:
+            cache = self._known_cache = sorted(self._inboxes)
+        return cache
 
     # -- failure injection ----------------------------------------------------
 
@@ -275,21 +295,43 @@ class Network:
             self.dropped_unknown_dst += 1
             return None
         latency_mult = 1.0
-        degraded = self._degraded.get((src, dst))
-        if degraded is not None:
-            drop_p, latency_mult = degraded
-            if drop_p > 0.0 and self.sim.rng.random("net-degrade") < drop_p:
-                self.dropped_degraded += 1
-                return None
+        if self._degraded:  # fast path: no degraded links, skip the lookup
+            degraded = self._degraded.get((src, dst))
+            if degraded is not None:
+                drop_p, latency_mult = degraded
+                if drop_p > 0.0 and self.sim.rng.random("net-degrade") < drop_p:
+                    self.dropped_degraded += 1
+                    return None
         triple = (src, dst, kind)
-        self._seq[triple] += 1
-        key = f"{src}>{dst}:{kind}#{self._seq[triple]}"
+        seq = self._seq[triple] + 1
+        self._seq[triple] = seq
+        key = f"{src}>{dst}:{kind}#{seq}"
         message = Message(src=src, dst=dst, kind=kind, payload=payload,
                           send_time=self.sim.now, key=key)
         delay = self.latency.sample(self.sim, src, dst) * latency_mult
-        self.sim.schedule(delay, lambda: self._arrive(message),
-                          tag=f"net:{key}")
+        bucket = (self.sim.now + delay, dst)
+        batch = self._batches.get(bucket)
+        if batch is not None:
+            # Ride the already-scheduled event; within-bucket order is send
+            # order, which is exactly the per-message seq order it replaces.
+            batch.append(message)
+            self.batched_sends += 1
+        else:
+            batch = [message]
+            self._batches[bucket] = batch
+            self.sim.schedule(delay,
+                              lambda: self._arrive_batch(bucket, batch),
+                              tag=key)
         return message
+
+    def _arrive_batch(self, bucket: Tuple[float, str],
+                      batch: List[Message]) -> None:
+        self._batches.pop(bucket, None)
+        self.batch_deliveries += 1
+        if len(batch) > self.max_batch:
+            self.max_batch = len(batch)
+        for message in batch:
+            self._arrive(message)
 
     def _arrive(self, message: Message) -> None:
         if message.dst in self._down:

@@ -1,0 +1,43 @@
+"""The perf-regression gate: full-workload benchmarks vs committed baselines.
+
+Marked ``perf`` and excluded from tier-1 (see ``pyproject.toml`` addopts):
+these run the real workloads behind the ``BENCH_*.json`` baselines at the
+repository root, exactly like the CI ``perf`` job's ``repro bench
+--compare``.  Run locally with ``pytest -m perf``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (
+    DEFAULT_BASELINE_NAMES,
+    DEFAULT_TOLERANCE,
+    compare,
+    load_baseline,
+    run_suite,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def suite_results():
+    return run_suite(names=list(DEFAULT_BASELINE_NAMES), repeats=3)
+
+
+def test_baselines_are_committed():
+    missing = [name for name in DEFAULT_BASELINE_NAMES
+               if load_baseline(REPO_ROOT, name) is None]
+    assert not missing, f"missing repo-root baselines: {missing}"
+
+
+@pytest.mark.parametrize("name", DEFAULT_BASELINE_NAMES)
+def test_no_regression_against_baseline(suite_results, name):
+    baseline = load_baseline(REPO_ROOT, name)
+    assert baseline is not None, f"no committed baseline for {name}"
+    verdict = compare(suite_results[name], baseline,
+                      tolerance=DEFAULT_TOLERANCE)
+    assert verdict.ok, verdict.render()

@@ -1,0 +1,76 @@
+"""Differential determinism: timer-wheel scheduler vs the pure-heap path.
+
+The two-tier :class:`~repro.sim.events.TimerWheelQueue` replaced the binary
+heap as the default scheduler for speed.  Because event keys ``(time,
+priority, seq)`` form a strict total order, any correct min-key queue must
+pop the identical sequence -- so an end-to-end run may not change in any
+observable way.  These tests prove it the strong way: byte-identical
+canonical ``RunReport`` JSON, identical delivery logs, and identical event
+traces between ``Simulator(scheduler="heap")`` and the wheel default, for
+seeds 0..9 at N in {8, 32}.
+"""
+
+import json
+
+import pytest
+
+from repro.cassandra.cluster import Cluster, ClusterConfig, Mode
+from repro.cassandra.workloads import ScenarioParams, run_workload
+
+#: Short scenario: long enough for decommission + conviction traffic,
+#: short enough that the full 10-seed x 2-scale sweep stays in tier-1.
+FAST = ScenarioParams(warmup=2.0, observe=5.0, leaving_duration=2.0,
+                      join_duration=2.0, join_stagger=0.5)
+
+
+def _run(nodes: int, seed: int, scheduler: str, trace: bool = False):
+    config = ClusterConfig.for_bug("c3831", nodes=nodes, mode=Mode.REAL,
+                                   seed=seed, scheduler=scheduler)
+    cluster = Cluster(config)
+    if trace:
+        cluster.sim.trace.enabled = True
+    report = run_workload(cluster, config.bug.workload, FAST)
+    return cluster, report
+
+
+def _canonical(report) -> str:
+    data = report.to_dict()
+    # Host wall time is the one legitimately nondeterministic field.
+    data.pop("wall_seconds", None)
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.mark.parametrize("nodes", [8, 32])
+@pytest.mark.parametrize("seed", range(10))
+def test_wheel_and_heap_reports_byte_identical(nodes, seed):
+    """Seeds 0..9, N in {8,32}: canonical RunReport JSON matches exactly."""
+    heap_cluster, heap_report = _run(nodes, seed, "heap")
+    wheel_cluster, wheel_report = _run(nodes, seed, "wheel")
+    assert _canonical(heap_report) == _canonical(wheel_report)
+    assert heap_cluster.sim.steps == wheel_cluster.sim.steps
+    assert (heap_cluster.network.delivery_log
+            == wheel_cluster.network.delivery_log)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_wheel_and_heap_event_traces_identical(seed):
+    """The full event trace -- order included -- matches record for record."""
+    heap_cluster, _ = _run(8, seed, "heap", trace=True)
+    wheel_cluster, _ = _run(8, seed, "wheel", trace=True)
+    heap_trace = [(r.time, r.kind, r.subject)
+                  for r in heap_cluster.sim.trace]
+    wheel_trace = [(r.time, r.kind, r.subject)
+                   for r in wheel_cluster.sim.trace]
+    assert heap_trace == wheel_trace
+    assert len(heap_trace) > 0
+
+
+def test_heap_scheduler_is_selectable_at_kernel_level():
+    """The A/B knob exists on the Simulator itself, not just the cluster."""
+    from repro.sim.events import EventQueue, TimerWheelQueue
+    from repro.sim.kernel import Simulator
+
+    assert isinstance(Simulator(scheduler="heap").events, EventQueue)
+    assert isinstance(Simulator().events, TimerWheelQueue)
+    with pytest.raises(ValueError):
+        Simulator(scheduler="fibonacci")

@@ -1,0 +1,259 @@
+"""Property tests for the two-tier timer-wheel event queue.
+
+Hand-rolled generators over the repo's deterministic
+:class:`~repro.sim.rng.SplittableRng` (the ``test_sweep_properties`` style:
+every case is a pure function of (suite seed, case index), so a failure
+prints the index that reproduces it).
+
+The property under test is the scheduler contract: for any sequence of
+schedule / cancel / reschedule operations, the pop sequence equals the
+live events sorted by ``(time, priority, seq)`` -- which also means the
+wheel and the classic heap queue are operationally indistinguishable.
+Edge cases get dedicated tests: same-tick priority ties, cancellation of
+events whose wheel slot has already rotated, pushes behind the cursor,
+and the lazy-cancellation compaction bound (peak storage stays O(live))
+for *both* queue implementations.
+"""
+
+import pytest
+
+from repro.sim.events import (
+    COMPACT_MIN_CANCELLED,
+    EventQueue,
+    TimerWheelQueue,
+    make_queue,
+)
+from repro.sim.rng import SplittableRng
+
+SUITE_SEED = 20260807
+CASES = 40
+
+
+def case_rng(case):
+    """The deterministic RNG for one generated case."""
+    return SplittableRng(SUITE_SEED * 1000 + case)
+
+
+def gen_time(rng, tag):
+    """A random event time spanning all three tiers of the wheel.
+
+    Mixes sub-slot times (ties inside one wheel slot), in-horizon times,
+    and far times beyond the 512-slot horizon so every push branch and the
+    far-heap migration point are exercised.
+    """
+    tier = rng.choice(f"{tag}.tier", ["subslot", "near", "horizon", "far"])
+    if tier == "subslot":
+        return rng.randint(f"{tag}.slot", 0, 20) * 0.001
+    if tier == "near":
+        return rng.uniform(f"{tag}.t", 0.0, 0.05)
+    if tier == "horizon":
+        return rng.uniform(f"{tag}.t", 0.0, 0.512)
+    return rng.uniform(f"{tag}.t", 0.512, 5.0)
+
+
+def run_ops(queue, rng, n_ops):
+    """Drive one queue through a generated op sequence; returns pop keys."""
+    handles = []
+    popped = []
+    for i in range(n_ops):
+        op = rng.choice(f"op{i}", ["push", "push", "push", "cancel",
+                                   "resched", "pop"])
+        if op == "push":
+            priority = rng.choice(f"prio{i}", [-10, 0, 10, 3])
+            handles.append(queue.push(gen_time(rng, f"t{i}"), lambda: None,
+                                      priority=priority, tag=f"e{i}"))
+        elif op == "cancel" and handles:
+            idx = rng.randint(f"pick{i}", 0, len(handles) - 1)
+            handles[idx].cancel()
+        elif op == "resched" and handles:
+            # The simulator's reschedule idiom: cancel + fresh push.
+            idx = rng.randint(f"pick{i}", 0, len(handles) - 1)
+            handles[idx].cancel()
+            handles.append(queue.push(gen_time(rng, f"rt{i}"), lambda: None,
+                                      priority=rng.choice(f"rp{i}",
+                                                          [-10, 0, 10]),
+                                      tag=f"r{i}"))
+        elif op == "pop":
+            event = queue.pop()
+            if event is not None:
+                popped.append(event.sort_key())
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event.sort_key())
+    return popped
+
+
+@pytest.mark.parametrize("case", range(CASES))
+def test_every_pop_returns_the_minimum_live_key(case):
+    """Model-based check: each pop yields min (time, prio, seq) of the live set.
+
+    A shadow model tracks exactly which keys are live; every pop -- and
+    the final drain -- must return the model's minimum and nothing else.
+    Interleaved pops rotate the cursor while pushes keep landing behind,
+    on, and ahead of it, so this also covers the behind-cursor insort
+    path (where pop order is legitimately not globally sorted).
+    """
+    rng = case_rng(case)
+    n_ops = rng.randint("n_ops", 5, 120)
+    queue = TimerWheelQueue()
+    handles = []
+    live = {}  # sort_key -> handle
+
+    def do_push(i, tag_prefix="t"):
+        priority = rng.choice(f"prio{i}", [-10, 0, 10, 3])
+        handle = queue.push(gen_time(rng, f"{tag_prefix}{i}"), lambda: None,
+                            priority=priority)
+        handles.append(handle)
+        live[handle.sort_key()] = handle
+
+    def do_cancel(i):
+        idx = rng.randint(f"pick{i}", 0, len(handles) - 1)
+        handle = handles[idx]
+        handle.cancel()
+        live.pop(handle.sort_key(), None)
+
+    for i in range(n_ops):
+        op = rng.choice(f"op{i}", ["push", "push", "push", "cancel",
+                                   "resched", "pop"])
+        if op == "push":
+            do_push(i)
+        elif op == "cancel" and handles:
+            do_cancel(i)
+        elif op == "resched" and handles:
+            do_cancel(i)
+            do_push(i, tag_prefix="rt")
+        elif op == "pop":
+            event = queue.pop()
+            if live:
+                assert event is not None
+                assert event.sort_key() == min(live)
+                del live[event.sort_key()]
+            else:
+                assert event is None
+    while live:
+        event = queue.pop()
+        assert event is not None and event.sort_key() == min(live)
+        del live[event.sort_key()]
+    assert queue.pop() is None
+    assert len(queue) == 0
+
+
+@pytest.mark.parametrize("case", range(CASES))
+def test_wheel_and_heap_pop_identical_sequences(case):
+    """The same op sequence yields byte-identical pops from both queues."""
+    rng = case_rng(case)
+    n_ops = rng.randint("n_ops", 5, 120)
+    wheel_pops = run_ops(TimerWheelQueue(), case_rng(case), n_ops)
+    heap_pops = run_ops(EventQueue(), case_rng(case), n_ops)
+    assert wheel_pops == heap_pops
+
+
+def test_same_tick_priority_ties():
+    """Events at one timestamp pop by (priority, seq), never arrival luck."""
+    queue = TimerWheelQueue()
+    tags = ["low", "normal-1", "high", "normal-2", "highest"]
+    priorities = [10, 0, -10, 0, -20]
+    for tag, priority in zip(tags, priorities):
+        queue.push(0.25, lambda: None, priority=priority, tag=tag)
+    order = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        order.append(event.tag)
+    assert order == ["highest", "high", "normal-1", "normal-2", "low"]
+
+
+def test_cancel_event_in_already_rotated_slot():
+    """Cancelling an event whose slot batch is being drained must not fire it.
+
+    Two events share the slot at t=0.1; popping the first pulls the whole
+    slot into the current batch (the slot has "rotated").  Cancelling the
+    second afterwards exercises the drain-time skip rather than the
+    slot-scrub path.
+    """
+    queue = TimerWheelQueue()
+    first = queue.push(0.1, lambda: None, tag="first")
+    second = queue.push(0.1 + 1e-5, lambda: None, tag="second")
+    later = queue.push(0.3, lambda: None, tag="later")
+    assert queue.pop() is first
+    second.cancel()
+    assert queue.pop() is later
+    assert queue.pop() is None
+    assert len(queue) == 0
+
+
+def test_push_behind_cursor_after_rotation():
+    """A push at a time whose slot already rotated still pops in key order."""
+    queue = TimerWheelQueue()
+    queue.push(0.2, lambda: None, tag="a")
+    assert queue.pop().tag == "a"  # cursor now sits at slot(0.2)
+    queue.push(0.05, lambda: None, tag="behind")
+    queue.push(0.21, lambda: None, tag="ahead")
+    assert queue.pop().tag == "behind"
+    assert queue.pop().tag == "ahead"
+
+
+def test_far_events_pop_against_near_events():
+    """The far heap and the wheel merge into one total order."""
+    queue = TimerWheelQueue()
+    queue.push(100.0, lambda: None, tag="far")
+    queue.push(0.01, lambda: None, tag="near")
+    queue.push(400.0, lambda: None, tag="farther")
+    assert [queue.pop().tag for _ in range(3)] == ["near", "far", "farther"]
+    assert queue.far_events == 2
+
+
+@pytest.mark.parametrize("scheduler", ["wheel", "heap"])
+def test_compaction_bounds_peak_storage_under_churn(scheduler):
+    """Regression: lazy cancellation must not grow storage unboundedly.
+
+    The historical EventQueue never compacted, so a long sweep that
+    schedules and cancels millions of timeouts (the PS-CPU reschedule
+    pattern) kept every tombstone until its pop time arrived.  Both
+    queues now rebuild once cancelled entries outnumber live ones, so
+    peak storage stays O(live), not O(total scheduled).
+    """
+    queue = make_queue(scheduler)
+    live_cap = 64
+    handles = []
+    peak_storage = 0
+    churn = 20_000
+    for i in range(churn):
+        handles.append(queue.push((i % 500) * 0.003 + 0.001, lambda: None))
+        if len(handles) > live_cap:
+            handles.pop(0).cancel()
+        peak_storage = max(peak_storage, queue.storage_size())
+    # O(live): within a small constant of the live cap, wildly below the
+    # ~20k entries the no-compaction behaviour would have accumulated.
+    assert len(queue) <= live_cap + 1
+    assert peak_storage <= 4 * (live_cap + COMPACT_MIN_CANCELLED)
+    assert queue.compactions > 0
+
+
+def test_queue_validation_and_factory():
+    """Constructor/factory guardrails."""
+    with pytest.raises(ValueError):
+        TimerWheelQueue(granularity=0.0)
+    with pytest.raises(ValueError):
+        TimerWheelQueue(nslots=0)
+    with pytest.raises(ValueError):
+        make_queue("splay")
+    assert isinstance(make_queue("heap"), EventQueue)
+    assert isinstance(make_queue("wheel"), TimerWheelQueue)
+
+
+def test_pop_due_respects_limit_and_merges_tiers():
+    """pop_due(limit) yields exactly the events at or before the horizon."""
+    queue = TimerWheelQueue()
+    queue.push(0.1, lambda: None, tag="a")
+    queue.push(0.2, lambda: None, tag="b")
+    queue.push(5.0, lambda: None, tag="far")
+    assert queue.pop_due(0.15).tag == "a"
+    assert queue.pop_due(0.15) is None       # b is beyond the limit
+    assert queue.peek_time() == pytest.approx(0.2)
+    assert queue.pop_due(10.0).tag == "b"
+    assert queue.pop_due(10.0).tag == "far"
+    assert queue.pop_due(10.0) is None
