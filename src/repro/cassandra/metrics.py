@@ -117,6 +117,25 @@ class RunReport:
     #: scale-doctor (:func:`repro.obs.doctor.stage_lateness`) -- lets
     #: ``compare_modes`` attribute mode divergence to a specific stage.
     stage_lateness: Dict[str, float] = field(default_factory=dict)
+    # -- data plane (filled by repro.workload's engine; zero when only the
+    # control plane ran).  Request counts are weighted floats: the user
+    # shards fold millions of logical users into representative requests,
+    # each standing for `weight` real ones.
+    requests_attempted: float = 0.0
+    requests_ok: float = 0.0
+    requests_unavailable: float = 0.0
+    requests_timeout: float = 0.0
+    hints_stored: int = 0
+    hints_delivered: int = 0
+    #: Latency percentiles over all completed-or-failed requests, in
+    #: seconds.  ``None`` (not 0.0) when no request was recorded: a run
+    #: that served nothing must not report a fake perfect latency.
+    latency_p50: Optional[float] = None
+    latency_p99: Optional[float] = None
+    latency_p999: Optional[float] = None
+    #: Structured workload summary (spec echo, per-kind percentiles,
+    #: shard-demand totals); empty when no workload ran.
+    workload: Dict[str, Any] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
     def calc_duration_range(self) -> Tuple[float, float]:
@@ -171,13 +190,19 @@ class RunReport:
     def summary(self) -> str:
         """One-line human-readable summary."""
         low, high = self.calc_duration_range()
-        return (
+        line = (
             f"[{self.mode:>4}] {self.bug} N={self.nodes} P={self.vnodes}: "
             f"{self.flaps} flaps, {len(self.calc_records)} calcs "
             f"(demand {low:.3f}-{high:.3f}s), "
             f"util {self.cpu_utilization:.0%}, stretch {self.mean_stretch:.2f}, "
             f"max stage wait {self.max_stage_wait:.2f}s"
         )
+        if self.requests_attempted > 0:
+            p99 = ("n/a" if self.latency_p99 is None
+                   else f"{self.latency_p99 * 1000:.1f}ms")
+            line += (f", {self.requests_attempted:,.0f} reqs "
+                     f"(p99 {p99})")
+        return line
 
 
 def accuracy_error(real: RunReport, other: RunReport) -> float:

@@ -265,6 +265,10 @@ class Node:
                 self.storage.storage_stage(self.storage_inbox),
                 name=f"storage-stage:{self.node_id}",
             ))
+            self._processes.append(self.sim.spawn(
+                self.storage.hint_delivery_task(),
+                name=f"hint-delivery:{self.node_id}",
+            ))
 
     def stop(self) -> None:
         """Shut the node down and detach it from the network."""

@@ -12,6 +12,14 @@ When the gossip stage wedges and the failure detector convicts healthy
 peers, coordinators see most replicas as down and reject quorum operations
 -- the scalability bug becomes client-visible errors, which the workload
 driver (:class:`ClientLoad`) counts.
+
+**Hinted handoff.** A write that proceeds while some replica is believed
+down (or that times out waiting for acks) stores a *hint* -- the missed
+``(key, value, timestamp)`` -- on the coordinator.  A periodic delivery
+task replays hints to endpoints the gossiper has marked alive again, so a
+transiently-failed replica converges back without an explicit repair.
+Replicas apply writes last-write-wins on the coordination timestamp, which
+makes late hint replays safe against fresher data.
 """
 
 from __future__ import annotations
@@ -21,9 +29,18 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
-from ..sim.kernel import Compute, Get, Timeout
+from ..annotations import lock_protects
+from ..sim.kernel import Acquire, Compute, Get, Timeout
 from .state import STATUS_LEFT
 from .tokens import token_for_key
+
+# Lock-discipline declaration (input to the repro.analysis checker): the
+# hint store is shared between every in-flight write coordination and the
+# periodic delivery task, either of which may yield mid-flight; the lock
+# makes the append/drain critical sections explicit and checkable.
+lock_protects("hints_lock", "hints",
+              note="hinted-handoff store: coordinators append, the "
+                   "delivery task drains")
 
 # Message kinds (handled on the storage stage, NOT the gossip stage --
 # Cassandra's MUTATION/READ thread pools are separate from GossipStage).
@@ -92,8 +109,16 @@ class StorageService:
     storage inbox and spawns :meth:`storage_stage`.
     """
 
+    #: Per-endpoint hint cap: a long outage must not grow coordinator
+    #: memory without bound (Cassandra bounds hint windows the same way).
+    MAX_HINTS_PER_ENDPOINT = 512
+    #: Hints replayed per delivery pass (bounds the burst a recovering
+    #: replica absorbs in one tick).
+    HINT_BATCH = 64
+
     def __init__(self, node, costs: Optional[StorageCosts] = None,
-                 rpc_timeout: float = 2.0) -> None:
+                 rpc_timeout: float = 2.0,
+                 hint_interval: float = 5.0) -> None:
         self.node = node
         self.costs = costs or StorageCosts()
         self.rpc_timeout = rpc_timeout
@@ -102,6 +127,13 @@ class StorageService:
         self._pending: Dict[int, object] = {}  # request id -> reply channel
         self.writes_served = 0
         self.reads_served = 0
+        # -- hinted handoff: missed writes keyed by the down endpoint.
+        self.hint_interval = hint_interval
+        self.hints: Dict[str, List[Tuple[str, str, float]]] = {}
+        self.hints_lock = node.sim.lock(f"hints:{node.node_id}")
+        self.hints_stored = 0
+        self.hints_delivered = 0
+        self.hints_dropped = 0
 
     # -- replica selection ---------------------------------------------------------
 
@@ -160,9 +192,11 @@ class StorageService:
         request_id = next(self._request_ids)
         reply = self.node.sim.channel(f"write:{self.node.node_id}:{request_id}")
         self._pending[request_id] = reply
+        timestamp = self.node.sim.now
         for endpoint in alive:
-            self._send_or_local(endpoint, WRITE,
-                                (request_id, key, value, self.node.node_id))
+            self._send_or_local(
+                endpoint, WRITE,
+                (request_id, key, value, self.node.node_id, timestamp))
         acks = 0
         result = None
         self._arm_timeout(reply)
@@ -182,7 +216,73 @@ class StorageService:
                     latency=self.node.sim.now - started)
                 break
         del self._pending[request_id]
+        # Hinted handoff: the write went through (or at least was sent), so
+        # replicas we skipped as dead -- and, on timeout, the targeted ones
+        # we never heard from -- get a hint for later replay.
+        missed = [r for r in replicas if r not in alive]
+        if result is not None and result.error == "timeout":
+            missed.extend(r for r in alive if r != self.node.node_id)
+        if missed:
+            yield from self._store_hints(missed, key, value, timestamp)
         return result
+
+    def _store_hints(self, endpoints: List[str], key: str, value: str,
+                     timestamp: float):
+        """Append one hint per missed endpoint, under :attr:`hints_lock`."""
+        gossiper = self.node.gossiper
+        yield Acquire(self.hints_lock)
+        try:
+            for endpoint in endpoints:
+                state = gossiper.endpoint_state_map.get(endpoint)
+                if state is not None and state.status() == STATUS_LEFT:
+                    continue  # decommissioned: will never come back
+                queue = self.hints.setdefault(endpoint, [])
+                if len(queue) >= self.MAX_HINTS_PER_ENDPOINT:
+                    self.hints_dropped += 1
+                    continue
+                queue.append((key, value, timestamp))
+                self.hints_stored += 1
+        finally:
+            self.hints_lock.release()
+
+    def hint_delivery_task(self):
+        """Periodic replay of stored hints to endpoints marked alive again.
+
+        Drains under the lock, replays outside it: the WRITE sends go
+        through the normal storage path and the acks (request id 0, never
+        pending) are discarded on arrival.
+        """
+        while self.node.running:
+            yield Timeout(self.hint_interval)
+            live = self.node.gossiper.live_endpoints
+            batch: List[Tuple[str, Tuple[str, str, float]]] = []
+            yield Acquire(self.hints_lock)
+            try:
+                for endpoint in sorted(self.hints):
+                    if len(batch) >= self.HINT_BATCH:
+                        break
+                    if endpoint not in live:
+                        continue
+                    queue = self.hints[endpoint]
+                    take = self.HINT_BATCH - len(batch)
+                    batch.extend((endpoint, hint) for hint in queue[:take])
+                    rest = queue[take:]
+                    if rest:
+                        self.hints[endpoint] = rest
+                    else:
+                        del self.hints[endpoint]
+            finally:
+                self.hints_lock.release()
+            if not batch:
+                continue
+            yield Compute(self.node.cpu,
+                          self.costs.write_local * len(batch),
+                          tag=f"hints:{self.node.node_id}")
+            for endpoint, (key, value, timestamp) in batch:
+                self._send_or_local(
+                    endpoint, WRITE,
+                    (0, key, value, self.node.node_id, timestamp))
+                self.hints_delivered += 1
 
     def coordinate_read(self, key: str,
                         cl: ConsistencyLevel = ConsistencyLevel.ONE):
@@ -263,8 +363,12 @@ class StorageService:
     def _handle_storage_message(self, kind: str, payload, src: str,
                                 local: bool = False) -> None:
         if kind == WRITE:
-            request_id, key, value, coordinator = payload
-            self.store[key] = (value, self.node.sim.now)
+            request_id, key, value, coordinator, timestamp = payload
+            # Last-write-wins on the coordination timestamp: a late hint
+            # replay must not clobber a fresher value.
+            existing = self.store.get(key)
+            if existing is None or timestamp >= existing[1]:
+                self.store[key] = (value, timestamp)
             self.writes_served += 1
             self._reply(coordinator, WRITE_ACK, (request_id, True), local)
         elif kind == READ:

@@ -126,21 +126,47 @@ def _join_driver(cluster: Cluster, node_id: str, delay: float,
     node.announce_status(STATUS_NORMAL)
 
 
+def _start_traffic(cluster: Cluster, traffic, params: ScenarioParams):
+    """Attach a client-traffic engine for the observation window.
+
+    ``traffic`` is a :class:`repro.workload.spec.WorkloadSpec`; the import
+    is deferred because the workload package layers *above* this module.
+    Returns the engine (to fill the report) or None when no traffic rides
+    along.
+    """
+    if traffic is None:
+        return None
+    from ..workload.engine import WorkloadEngine
+    engine = WorkloadEngine(cluster, traffic)
+    engine.start(until=params.warmup + params.observe)
+    return engine
+
+
 def run_decommission(cluster: Cluster,
-                     params: Optional[ScenarioParams] = None) -> RunReport:
-    """Decommission the highest-numbered node of an established cluster."""
+                     params: Optional[ScenarioParams] = None,
+                     traffic=None) -> RunReport:
+    """Decommission the highest-numbered node of an established cluster.
+
+    ``traffic`` optionally runs a client workload (a ``WorkloadSpec``)
+    concurrently with the membership change, so the report also shows the
+    latency cost users pay during the decommission.
+    """
     params = params or ScenarioParams()
     cluster.build_established()
     cluster.run(until=params.warmup)
     victim = cluster.nodes[node_name(cluster.config.nodes - 1)]
     cluster.op_started_at = cluster.sim.now
+    engine = _start_traffic(cluster, traffic, params)
     cluster.sim.spawn(_decommission_driver(victim, params),
                       name="decommission-driver")
     cluster.sim.spawn(
         _convergence_monitor(cluster, absent=(victim.node_id,)),
         name="convergence-monitor")
     cluster.run(until=params.warmup + params.observe)
-    return cluster.report(observe_from=params.warmup)
+    report = cluster.report(observe_from=params.warmup)
+    if engine is not None:
+        engine.fill_report(report)
+    return report
 
 
 def run_scale_out(cluster: Cluster,
@@ -201,21 +227,29 @@ def run_bootstrap(cluster: Cluster,
 
 
 def run_failover(cluster: Cluster,
-                 params: Optional[ScenarioParams] = None) -> RunReport:
+                 params: Optional[ScenarioParams] = None,
+                 traffic=None) -> RunReport:
     """Crash ``crash_count`` nodes of an established cluster and observe
     detection.  Convictions of genuinely dead nodes are correct behaviour;
-    the interesting signal is collateral flaps of *live* nodes."""
+    the interesting signal is collateral flaps of *live* nodes.
+
+    ``traffic`` optionally runs a client workload during the window: the
+    crashed-but-unconvicted replicas then surface as rpc-timeout latency
+    in the report's p99 -- the user-visible face of slow detection."""
     params = params or ScenarioParams()
     cluster.build_established()
     cluster.run(until=params.warmup)
     victims = [
         node_name(cluster.config.nodes - 1 - i) for i in range(params.crash_count)
     ]
+    engine = _start_traffic(cluster, traffic, params)
     for victim in victims:
         cluster.network.crash(victim)
         cluster.nodes[victim].stop()
     cluster.run(until=params.warmup + params.observe)
     report = cluster.report(observe_from=params.warmup)
+    if engine is not None:
+        engine.fill_report(report)
     dead = set(victims)
     report.extra["collateral_flaps"] = float(
         sum(1 for e in report.flap_events if e.target not in dead)

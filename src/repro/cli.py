@@ -14,9 +14,12 @@ Commands map one-to-one onto the library's main entry points:
                     PIL-safety, lock discipline, determinism, cost-model
                     drift) with baseline suppression and SARIF/JSON output;
 * ``figure3``    -- regenerate one Figure 3 panel (flaps vs scale);
-* ``sweep``      -- run a declarative (bug, scale, seed, mode, chaos) grid
-                    through the parallel sweep engine with a persistent
-                    recording store and incremental result cache;
+* ``sweep``      -- run a declarative (bug, scale, seed, mode, chaos,
+                    workload) grid through the parallel sweep engine with a
+                    persistent recording store and incremental result cache;
+* ``workload``   -- drive client traffic (up to millions of simulated
+                    users) through the data path and report per-request
+                    latency percentiles;
 * ``bench``      -- run the perf microbenchmark suite and record or gate
                     the committed ``BENCH_*.json`` baselines;
 * ``study``      -- print the 38-bug study population table;
@@ -48,6 +51,7 @@ from .core.report import (
 from .core.scalecheck import ScaleCheck
 from .faults import ChaosConfig, FaultSchedule, generate_schedule, shrink
 from .study import default_study, render_population_table
+from .workload.scenarios import PRESETS as WORKLOAD_PRESETS
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -256,6 +260,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             chaos_events=args.chaos_events,
             enforce_order=args.enforce_order,
             vnodes=args.vnodes,
+            workloads=(args.workloads if args.workloads else [None]),
+            users=(args.users if args.users else [None]),
+            consistencies=(args.consistencies if args.consistencies
+                           else [None]),
         )
     if args.save_spec:
         spec.save(args.save_spec)
@@ -271,6 +279,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         collector=collector)
     print()
     print(render_sweep_summary(summary))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from .workload import preset_spec, run_point
+
+    spec = preset_spec(args.preset, users=args.users,
+                       consistency=args.consistency)
+    params = calibrate.scenario_params()
+    overrides = {}
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    if args.observe is not None:
+        overrides["observe"] = args.observe
+    if overrides:
+        params = dataclasses.replace(params, **overrides)
+    faults = None
+    if args.load_schedule:
+        faults = FaultSchedule.load(args.load_schedule)
+        print(f"loaded {len(faults)}-event schedule "
+              f"{faults.name!r} from {args.load_schedule}")
+    print(f"driving {spec.users:,} users ({args.preset}, "
+          f"{spec.loop} loop) over {args.bug} at {args.nodes} nodes "
+          f"(mode {args.mode}, seed {args.seed})...")
+    report = run_point(args.bug, args.nodes, args.mode, args.seed,
+                       args.preset, users=args.users,
+                       consistency=args.consistency, params=params,
+                       faults=faults, vnodes=args.vnodes)
+
+    def _ms(value):
+        return "n/a" if value is None else f"{value * 1000:.2f}ms"
+
+    info = report.workload
+    print()
+    print(f"requests  {report.requests_attempted:>12,.0f} attempted  "
+          f"{report.requests_ok:,.0f} ok  "
+          f"{report.requests_unavailable:,.0f} unavailable  "
+          f"{report.requests_timeout:,.0f} timeout")
+    print(f"latency   p50 {_ms(report.latency_p50)}  "
+          f"p99 {_ms(report.latency_p99)}  "
+          f"p999 {_ms(report.latency_p999)}")
+    print(f"events    {info['issued']:,} representative requests over "
+          f"{info['shards']} shards "
+          f"(fold {info['fold_factor']:,.0f}x)")
+    print(f"hints     {report.hints_stored} stored, "
+          f"{report.hints_delivered} delivered")
+    print(f"control   {report.flaps} flaps, "
+          f"{report.messages_delivered:,} messages delivered")
     return 0
 
 
@@ -425,7 +481,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the whole-program scalability linter over annotated "
              "packages (complexity, PIL-safety, lock discipline, drift)")
     lint.add_argument("--targets", nargs="+",
-                      default=["repro.cassandra", "repro.hdfs"],
+                      default=["repro.cassandra", "repro.hdfs",
+                               "repro.workload"],
                       help="module/package names or source paths to analyze")
     lint.add_argument("--format", default="text",
                       choices=["text", "json", "sarif"])
@@ -465,6 +522,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enforce recorded message order during replays")
     sweep.add_argument("--vnodes", type=int, default=None,
                        help="override the bugs' vnode counts (affordability)")
+    sweep.add_argument("--workloads", nargs="*", default=None,
+                       choices=sorted(WORKLOAD_PRESETS),
+                       help="workload presets to drive at each point "
+                            "(real/colo modes only; omit for membership-"
+                            "scenario sweeps)")
+    sweep.add_argument("--users", type=int, nargs="*", default=None,
+                       help="logical-user counts for the workload axis")
+    sweep.add_argument("--consistencies", nargs="*", default=None,
+                       choices=["one", "quorum", "all"],
+                       help="consistency levels for the workload axis")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes for the grid fan-out")
     sweep.add_argument("--cache-dir", default=".repro-sweep",
@@ -477,6 +544,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--save-spec", default=None,
                        help="write the grid to this sweep-spec JSON file")
     sweep.set_defaults(func=_cmd_sweep)
+
+    workload = sub.add_parser(
+        "workload",
+        help="drive client traffic (millions of simulated users) through "
+             "the data path and report latency percentiles")
+    workload.add_argument("--bug", default="c3831-fixed")
+    workload.add_argument("--nodes", type=int, default=24)
+    workload.add_argument("--seed", type=int, default=42)
+    workload.add_argument("--mode", default="real",
+                          choices=["real", "colo"])
+    workload.add_argument("--preset", default="steady",
+                          choices=sorted(WORKLOAD_PRESETS))
+    workload.add_argument("--users", type=int, default=None,
+                          help="override the preset's logical-user count")
+    workload.add_argument("--consistency", default=None,
+                          choices=["one", "quorum", "all"],
+                          help="read+write consistency level override")
+    workload.add_argument("--vnodes", type=int, default=None,
+                          help="override the bug's vnode count")
+    workload.add_argument("--warmup", type=float, default=None)
+    workload.add_argument("--observe", type=float, default=None)
+    workload.add_argument("--load-schedule", default=None,
+                          help="enact a saved fault schedule during the run")
+    workload.set_defaults(func=_cmd_workload)
 
     study = sub.add_parser("study", help="print the 38-bug study table")
     study.set_defaults(func=_cmd_study)

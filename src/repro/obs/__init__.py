@@ -29,6 +29,7 @@ from .registry import (
     Histogram,
     MetricsRegistry,
     MetricsSnapshot,
+    QuantileHistogram,
 )
 from .tracer import (
     CAT_COMPUTE,
@@ -54,6 +55,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "QuantileHistogram",
     "Span",
     "SpanTracer",
     "SweepCollector",

@@ -13,7 +13,10 @@ The suite covers the three hot paths the perf overhaul touched:
 * ``gossip_n{64,128,256}`` -- an established c3831 cluster gossiping in
   real mode: the end-to-end events/sec figure the tentpole targets;
 * ``replay_n{128,256}`` -- PIL-infused memoized replay: the paper's
-  "minutes instead of hours" claim, exercising the memo LRU front.
+  "minutes instead of hours" claim, exercising the memo LRU front;
+* ``workload_n128`` -- the client-traffic data plane: a million logical
+  users folded into weighted representative requests over an N=128 ring,
+  guarding the shard/coordinator/histogram hot loops.
 
 ``quick=True`` shrinks every workload for smoke tests; quick results carry
 a different workload descriptor and therefore cannot be compared against
@@ -33,6 +36,7 @@ DEFAULT_BASELINE_NAMES = (
     "gossip_n128",
     "gossip_n256",
     "replay_n128",
+    "workload_n128",
 )
 
 _BenchFn = Callable[[], Tuple[float, int]]
@@ -131,6 +135,37 @@ def _make_replay(nodes: int):
     return factory
 
 
+# -- client traffic -----------------------------------------------------------------
+
+
+def _make_workload(nodes: int):
+    def factory(quick: bool) -> Tuple[_BenchFn, Dict[str, Any]]:
+        from ..cassandra.cluster import Cluster, ClusterConfig, Mode
+        from ..cassandra.workloads import ScenarioParams
+        from ..workload import preset_spec, run_traffic
+
+        users = 200_000 if quick else 1_000_000
+        params = (ScenarioParams(warmup=4.0, observe=8.0) if quick
+                  else ScenarioParams(warmup=8.0, observe=20.0))
+        workload = {"bug": "c3831-fixed", "nodes": nodes, "users": users,
+                    "warmup": params.warmup, "observe": params.observe,
+                    "mode": "real"}
+
+        def run() -> Tuple[float, int]:
+            config = ClusterConfig.for_bug("c3831-fixed", nodes=nodes,
+                                           mode=Mode.REAL, seed=42,
+                                           enable_storage=True)
+            cluster = Cluster(config)
+            spec = preset_spec("millionuser", users=users)
+            t0 = time.perf_counter()
+            run_traffic(cluster, spec, params=params)
+            return time.perf_counter() - t0, cluster.sim.steps
+
+        return run, workload
+
+    return factory
+
+
 #: Name -> factory registry (ordered: cheap first).
 BENCHMARKS: Dict[str, _Factory] = {
     "event_churn": _make_event_churn,
@@ -139,6 +174,7 @@ BENCHMARKS: Dict[str, _Factory] = {
     "gossip_n256": _make_gossip(256),
     "replay_n128": _make_replay(128),
     "replay_n256": _make_replay(256),
+    "workload_n128": _make_workload(128),
 }
 
 

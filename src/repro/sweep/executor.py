@@ -42,6 +42,7 @@ from ..core.scalecheck import ScaleCheck
 from ..faults.chaos import ChaosConfig, generate_schedule
 from ..faults.schedule import FaultSchedule
 from ..obs.collect import SweepCollector
+from ..workload.scenarios import run_point as run_workload_point
 from .cache import SweepCache, memo_identity_key, result_key
 from .spec import SweepPoint, SweepSpec
 
@@ -95,6 +96,16 @@ def _execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
     if kind == "real":
         report = check.run_real(faults=faults)
+        out["report"] = report.to_dict()
+    elif kind == "workload":
+        # Live client traffic over the point's cluster; no memo/PIL
+        # machinery is involved (traffic has no recording to replay).
+        report = run_workload_point(
+            bug_id=point.bug_id, nodes=point.nodes, mode=point.mode,
+            seed=point.seed, preset=point.workload, users=point.users,
+            consistency=point.consistency, params=params,
+            constants=constants, machine=machine, faults=faults,
+            vnodes=point.vnodes)
         out["report"] = report.to_dict()
     elif kind == "memo":
         result = check.memoize_to(payload["memo_path"], faults=faults)
@@ -327,8 +338,8 @@ def run_sweep(
     # -- wave 1: recording jobs (colo runs double as MemoDB producers) ---------
     recording_jobs: Dict[str, Dict[str, Any]] = {}
     for point in points:
-        if point in resolved:
-            continue
+        if point in resolved or point.workload is not None:
+            continue  # workload points never record or replay a MemoDB
         identity = identity_for(point)
         needs_recording = (
             point.mode == "colo"
@@ -373,7 +384,10 @@ def run_sweep(
     for point in points:
         if point in resolved:
             continue
-        if point.mode == "real":
+        if point.workload is not None:
+            key = key_for(point)
+            jobs.append(base_payload(point, "workload", key))
+        elif point.mode == "real":
             key = key_for(point)
             jobs.append(base_payload(point, "real", key))
         elif point.mode == "pil":

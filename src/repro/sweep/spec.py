@@ -44,6 +44,16 @@ class SweepPoint:
     enforce_order: bool = False
     #: Optional vnode-count override (affordability at large N).
     vnodes: Optional[int] = None
+    #: Workload preset name (``repro.workload.scenarios.PRESETS``); None
+    #: runs the bug's membership scenario as before.  Workload points run
+    #: live traffic, which PIL replay has no recording of, so they are
+    #: restricted to the ``real``/``colo`` modes.
+    workload: Optional[str] = None
+    #: Logical-user override for the workload preset.
+    users: Optional[int] = None
+    #: Consistency-level override ("one" | "quorum" | "all"), applied to
+    #: both reads and writes.
+    consistency: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -51,6 +61,14 @@ class SweepPoint:
                              f"(expected one of {MODES})")
         if self.nodes <= 0:
             raise ValueError("a sweep point needs a positive cluster size")
+        if self.workload is None:
+            if self.users is not None or self.consistency is not None:
+                raise ValueError("users/consistency overrides need a "
+                                 "workload preset")
+        elif self.mode == "pil":
+            raise ValueError("workload points support real/colo modes "
+                             "only (no traffic recording exists for PIL "
+                             "replay)")
 
     def label(self) -> str:
         """Compact human-readable identity for tables and logs."""
@@ -62,6 +80,12 @@ class SweepPoint:
             parts.append("ordered")
         if self.vnodes is not None:
             parts.append(f"P={self.vnodes}")
+        if self.workload is not None:
+            parts.append(f"wl={self.workload}")
+            if self.users is not None:
+                parts.append(f"U={self.users}")
+            if self.consistency is not None:
+                parts.append(f"cl={self.consistency}")
         return "/".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -75,6 +99,9 @@ class SweepPoint:
             "chaos_events": self.chaos_events,
             "enforce_order": self.enforce_order,
             "vnodes": self.vnodes,
+            "workload": self.workload,
+            "users": self.users,
+            "consistency": self.consistency,
         }
 
     @classmethod
@@ -91,6 +118,12 @@ class SweepPoint:
             enforce_order=bool(data.get("enforce_order", False)),
             vnodes=(None if data.get("vnodes") is None
                     else int(data["vnodes"])),
+            workload=(None if data.get("workload") is None
+                      else str(data["workload"])),
+            users=(None if data.get("users") is None
+                   else int(data["users"])),
+            consistency=(None if data.get("consistency") is None
+                         else str(data["consistency"])),
         )
 
     def memo_identity(self) -> Dict[str, Any]:
@@ -118,16 +151,22 @@ class SweepSpec:
     chaos_events: int = 8
     enforce_order: bool = False
     vnodes: Optional[int] = None
+    #: Workload-preset axis; ``None`` entries run the plain membership
+    #: scenario.  The ``users``/``consistencies`` axes only multiply under
+    #: a non-None preset (a membership point has no users to vary).
+    workloads: List[Optional[str]] = field(default_factory=lambda: [None])
+    users: List[Optional[int]] = field(default_factory=lambda: [None])
+    consistencies: List[Optional[str]] = field(default_factory=lambda: [None])
     name: str = ""
 
     def expand(self) -> List[SweepPoint]:
         """Flatten the grid into points.
 
         The ordering is stable -- nested loops in declared axis order
-        (bugs, scales, seeds, chaos seeds, modes) -- and duplicates
-        (repeated axis values) collapse to their first occurrence, so the
-        executor's job list and the summary table are reproducible
-        identities of the spec.
+        (bugs, scales, seeds, chaos seeds, workloads, users,
+        consistencies, modes) -- and duplicates (repeated axis values)
+        collapse to their first occurrence, so the executor's job list
+        and the summary table are reproducible identities of the spec.
         """
         if not self.bugs or not self.scales or not self.seeds or not self.modes:
             raise ValueError("a sweep spec needs at least one bug, scale, "
@@ -137,14 +176,35 @@ class SweepSpec:
             for nodes in self.scales:
                 for seed in self.seeds:
                     for chaos_seed in (self.chaos_seeds or [None]):
-                        for mode in self.modes:
-                            points.append(SweepPoint(
-                                bug_id=bug_id, nodes=nodes, seed=seed,
-                                mode=mode, chaos_seed=chaos_seed,
-                                chaos_events=self.chaos_events,
-                                enforce_order=self.enforce_order,
-                                vnodes=self.vnodes,
-                            ))
+                        for workload in (self.workloads or [None]):
+                            combos = ([(None, None)] if workload is None
+                                      else [(u, cl)
+                                            for u in (self.users or [None])
+                                            for cl in (self.consistencies
+                                                       or [None])])
+                            # PIL replay has no traffic recording: workload
+                            # points only exist in real/colo modes.  A mixed
+                            # spec keeps its pil points for the membership
+                            # (workload=None) part of the grid.
+                            modes = (self.modes if workload is None else
+                                     [m for m in self.modes if m != "pil"])
+                            if not modes:
+                                raise ValueError(
+                                    f"workload {workload!r} needs a real or "
+                                    f"colo mode in the spec (pil replay "
+                                    f"cannot run live traffic)")
+                            for users, consistency in combos:
+                                for mode in modes:
+                                    points.append(SweepPoint(
+                                        bug_id=bug_id, nodes=nodes,
+                                        seed=seed, mode=mode,
+                                        chaos_seed=chaos_seed,
+                                        chaos_events=self.chaos_events,
+                                        enforce_order=self.enforce_order,
+                                        vnodes=self.vnodes,
+                                        workload=workload, users=users,
+                                        consistency=consistency,
+                                    ))
         return list(dict.fromkeys(points))
 
     def __len__(self) -> int:
@@ -165,6 +225,9 @@ class SweepSpec:
             "chaos_events": self.chaos_events,
             "enforce_order": self.enforce_order,
             "vnodes": self.vnodes,
+            "workloads": list(self.workloads),
+            "users": list(self.users),
+            "consistencies": list(self.consistencies),
         }
 
     @classmethod
@@ -185,6 +248,12 @@ class SweepSpec:
             enforce_order=bool(data.get("enforce_order", False)),
             vnodes=(None if data.get("vnodes") is None
                     else int(data["vnodes"])),
+            workloads=[None if w is None else str(w)
+                       for w in data.get("workloads", [None])],
+            users=[None if u is None else int(u)
+                   for u in data.get("users", [None])],
+            consistencies=[None if c is None else str(c)
+                           for c in data.get("consistencies", [None])],
             name=str(data.get("name", "")),
         )
 

@@ -1,0 +1,42 @@
+"""repro.workload -- the client-traffic data plane.
+
+The control-plane scenarios (:mod:`repro.cassandra.workloads`) exercise
+membership protocols; this package adds the *users*: seeded open- and
+closed-loop request generators with Zipf key popularity and shaped
+arrival curves, folded into aggregate user shards so millions of logical
+users cost thousands of simulated events, driven through the storage
+layer's consistency-level coordination (with hinted handoff on missed
+replicas), and accounted per-request into weighted latency histograms
+whose p50/p99/p999 land on the run's ``RunReport``.
+
+Layered bottom-up:
+
+* :mod:`repro.workload.spec` -- :class:`WorkloadSpec`, the JSON-round-
+  trippable description of one traffic shape;
+* :mod:`repro.workload.generators` -- Zipf keys and arrival curves;
+* :mod:`repro.workload.shards` -- the aggregate user-shard processes;
+* :mod:`repro.workload.engine` -- coordinator selection, request drive,
+  weighted latency accounting;
+* :mod:`repro.workload.scenarios` -- named presets, :func:`run_traffic`,
+  and the sweep entry point :func:`run_point`.
+"""
+
+from .engine import WorkloadEngine
+from .generators import CURVES, ZipfKeys, make_curve, offered_requests
+from .scenarios import PRESETS, preset_spec, run_point, run_traffic
+from .shards import ShardDemand
+from .spec import WorkloadSpec
+
+__all__ = [
+    "CURVES",
+    "PRESETS",
+    "ShardDemand",
+    "WorkloadEngine",
+    "WorkloadSpec",
+    "ZipfKeys",
+    "make_curve",
+    "offered_requests",
+    "preset_spec",
+    "run_point",
+    "run_traffic",
+]

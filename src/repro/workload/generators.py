@@ -1,0 +1,141 @@
+"""Request-population generators: key popularity and arrival curves.
+
+Two ingredients every traffic run needs:
+
+* :class:`ZipfKeys` -- which key a request touches.  Real key popularity
+  is heavy-tailed; a Zipf CDF over the key space, sampled by inverse
+  transform from one uniform draw, reproduces that with O(log K) work per
+  request and full determinism (the draw comes from a named RNG stream).
+* arrival curves -- how offered load varies over the run.  A curve is a
+  pure function of elapsed virtual time returning a rate *multiplier*;
+  the open-loop shards multiply it into their per-tick demand.  The
+  diurnal preset compresses a day into a couple of virtual minutes so a
+  CI-sized window still sees a peak and a trough.
+
+Everything here is arithmetic over explicit inputs -- no hidden clocks,
+no module state -- so identical seeds give byte-identical traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Callable, Dict, List
+
+from ..annotations import declare_cost
+
+# The per-tick demand of a shard is O(1) regardless of how many users the
+# shard folds in -- that arithmetic aggregation is the subsystem's whole
+# scalability claim, so declare it for the cost analyzer (U = users).
+declare_cost("offered_requests", U=0,
+             note="aggregate demand: arithmetic in the user count, "
+                  "never a per-user loop")
+
+
+def offered_requests(users: int, rate_per_user: float,
+                     multiplier: float, tick: float) -> float:
+    """Requests a user population offers during one tick (fractional)."""
+    return users * rate_per_user * multiplier * tick
+
+
+class ZipfKeys:
+    """Zipf-popular keys over a fixed key space, via inverse-CDF sampling.
+
+    Rank ``r`` (1-based) has weight ``r ** -alpha``; ``alpha = 0`` is
+    uniform.  The CDF is precomputed once (O(K)); each pick is a bisect.
+    """
+
+    def __init__(self, key_space: int, alpha: float) -> None:
+        if key_space <= 0:
+            raise ValueError("key_space must be positive")
+        self.key_space = key_space
+        self.alpha = alpha
+        weights = [(rank + 1) ** -alpha for rank in range(key_space)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight
+            cdf.append(acc / total)
+        cdf[-1] = 1.0  # guard against float drift at the top
+        self._cdf = cdf
+
+    def rank(self, u: float) -> int:
+        """The 0-based popularity rank for uniform draw ``u`` in [0, 1)."""
+        return bisect_left(self._cdf, u)
+
+    def key(self, u: float) -> str:
+        """The key name for uniform draw ``u``."""
+        return f"key-{self.rank(u):06d}"
+
+
+# -- arrival curves -----------------------------------------------------------
+
+#: A curve maps elapsed virtual seconds -> offered-rate multiplier.
+Curve = Callable[[float], float]
+
+
+def constant_curve(level: float = 1.0) -> Curve:
+    """Flat offered load."""
+    return lambda elapsed: level
+
+
+def diurnal_curve(period: float = 120.0, low: float = 0.25,
+                  high: float = 1.0) -> Curve:
+    """A compressed day: sinusoid between ``low`` and ``high``.
+
+    Starts at the trough so short windows ramp up into the peak rather
+    than sampling only the plateau.
+    """
+    mid = (high + low) / 2.0
+    amp = (high - low) / 2.0
+
+    def curve(elapsed: float) -> float:
+        phase = 2.0 * math.pi * (elapsed / period) - math.pi / 2.0
+        return mid + amp * math.sin(phase)
+
+    return curve
+
+
+def ramp_curve(ramp: float = 60.0, start: float = 0.1,
+               end: float = 1.0) -> Curve:
+    """Linear ramp from ``start`` to ``end`` over ``ramp`` seconds.
+
+    The seed-registration shape: a rollout where clients come online
+    over the first part of the window, then hold steady.
+    """
+    def curve(elapsed: float) -> float:
+        if elapsed >= ramp:
+            return end
+        return start + (end - start) * (elapsed / ramp)
+
+    return curve
+
+
+def spike_curve(at: float = 30.0, duration: float = 10.0,
+                magnitude: float = 5.0, base: float = 1.0) -> Curve:
+    """Flat load with one rectangular surge (flash-crowd shape)."""
+    def curve(elapsed: float) -> float:
+        if at <= elapsed < at + duration:
+            return magnitude
+        return base
+
+    return curve
+
+
+#: Name -> factory; factories take the spec's ``curve_params`` as kwargs.
+CURVES: Dict[str, Callable[..., Curve]] = {
+    "constant": constant_curve,
+    "diurnal": diurnal_curve,
+    "ramp": ramp_curve,
+    "spike": spike_curve,
+}
+
+
+def make_curve(name: str, params: Dict[str, float]) -> Curve:
+    """Instantiate the named arrival curve with ``params``."""
+    factory = CURVES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown arrival curve {name!r} "
+                         f"(expected one of {sorted(CURVES)})")
+    return factory(**params)

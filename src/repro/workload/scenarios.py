@@ -1,0 +1,124 @@
+"""Traffic scenarios: presets, the run loop, and the sweep entry point.
+
+:data:`PRESETS` names the workload shapes the experiments sweep over
+(steady Zipf traffic, a compressed diurnal day, the power-law and
+seed-registration topologies from SNIPPETS, a closed-loop session crew,
+and the million-user open-loop demo).  :func:`run_traffic` executes one
+spec against a freshly built cluster -- optionally with a fault schedule
+installed -- and returns a :class:`~repro.cassandra.metrics.RunReport`
+whose data-plane fields are filled.  :func:`run_point` is the pure-JSON
+worker entry the sweep executor dispatches, mirroring how the membership
+scenarios run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from ..cassandra.cluster import Cluster, ClusterConfig, MachineSpec, Mode
+from ..cassandra.metrics import RunReport
+from ..cassandra.pending_ranges import CostConstants
+from ..cassandra.workloads import ScenarioParams
+from ..faults.injector import install_faults
+from ..faults.schedule import FaultSchedule
+from .engine import WorkloadEngine
+from .spec import WorkloadSpec
+
+#: Named workload shapes (values are WorkloadSpec overrides).
+PRESETS: Dict[str, Dict[str, Any]] = {
+    #: Flat open-loop Zipf traffic, uniform coordinators -- the baseline.
+    "steady": {},
+    #: A compressed day: load swings trough-to-peak inside one window.
+    "diurnal": {"curve": "diurnal",
+                "curve_params": {"period": 120.0, "low": 0.25, "high": 1.0}},
+    #: Zipf-weighted coordinator choice: a few nodes absorb most traffic.
+    "powerlaw": {"topology": "powerlaw", "topology_alpha": 1.0},
+    #: Seed-registration shape: clients ramp up and mostly hit the seeds.
+    "seedreg": {"topology": "seeds", "curve": "ramp",
+                "curve_params": {"ramp": 45.0, "start": 0.1, "end": 1.0}},
+    #: Closed-loop sessions: workers with think time, self-throttling.
+    "closed": {"loop": "closed", "workers_per_shard": 4, "think_time": 1.0},
+    #: The headline aggregate-shard demo: a million logical users whose
+    #: cost is bounded by shards x sample_cap, not the user count.
+    "millionuser": {"users": 1_000_000, "shards": 16, "rate_per_user": 0.1,
+                    "sample_cap": 8},
+}
+
+
+def preset_spec(name: str, users: Optional[int] = None,
+                consistency: Optional[str] = None) -> WorkloadSpec:
+    """Build the named preset, optionally overriding scale and CL.
+
+    ``consistency`` sets *both* the read and write level -- the sweep's
+    consistency axis compares ONE/QUORUM/ALL symmetrically.
+    """
+    overrides = PRESETS.get(name)
+    if overrides is None:
+        raise ValueError(f"unknown workload preset {name!r} "
+                         f"(expected one of {sorted(PRESETS)})")
+    data = dict(overrides)
+    if users is not None:
+        data["users"] = users
+    if consistency is not None:
+        data["read_cl"] = consistency
+        data["write_cl"] = consistency
+    return WorkloadSpec(**data)
+
+
+def run_traffic(cluster: Cluster, spec: WorkloadSpec,
+                params: Optional[ScenarioParams] = None,
+                faults: Optional[FaultSchedule] = None) -> RunReport:
+    """Run ``spec``'s traffic against ``cluster`` for one observe window.
+
+    The cluster must be configured with ``enable_storage=True``; traffic
+    starts after the warmup (so failure-detector windows are primed) and
+    the report's data-plane fields cover exactly the observation window.
+    """
+    if not cluster.config.enable_storage:
+        raise ValueError("run_traffic needs a storage-enabled cluster "
+                         "(ClusterConfig.enable_storage=True)")
+    params = params or ScenarioParams()
+    cluster.build_established()
+    install_faults(cluster, faults)
+    cluster.run(until=params.warmup)
+    engine = WorkloadEngine(cluster, spec)
+    cluster.op_started_at = cluster.sim.now
+    end = params.warmup + params.observe
+    engine.start(until=end)
+    cluster.run(until=end)
+    report = cluster.report(observe_from=params.warmup)
+    engine.fill_report(report)
+    return report
+
+
+def run_point(bug_id: str, nodes: int, mode: str, seed: int,
+              preset: str, users: Optional[int] = None,
+              consistency: Optional[str] = None,
+              params: Optional[ScenarioParams] = None,
+              constants: Optional[CostConstants] = None,
+              machine: Optional[MachineSpec] = None,
+              faults: Optional[FaultSchedule] = None,
+              vnodes: Optional[int] = None) -> RunReport:
+    """One sweepable workload run, from pure-JSON-able arguments.
+
+    Modes are restricted to ``real``/``colo``: PIL replay memoizes the
+    *calculation* plane and has no recording of client traffic, so a
+    workload point under PIL would silently measure nothing.
+    """
+    mode_enum = Mode(mode)
+    if mode_enum not in (Mode.REAL, Mode.COLO):
+        raise ValueError(f"workload points support real/colo modes, "
+                         f"not {mode!r}")
+    spec = preset_spec(preset, users=users, consistency=consistency)
+    kwargs: Dict[str, Any] = dict(mode=mode_enum, seed=seed,
+                                  enable_storage=True)
+    if constants is not None:
+        kwargs["cost_constants"] = constants
+    if machine is not None:
+        kwargs["machine"] = machine
+    config = ClusterConfig.for_bug(bug_id, nodes, **kwargs)
+    if vnodes is not None:
+        config.bug = dataclasses.replace(config.bug, vnodes=vnodes)
+    cluster = Cluster(config)
+    return run_traffic(cluster, spec, params=params, faults=faults)

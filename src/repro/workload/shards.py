@@ -1,0 +1,92 @@
+"""User shards: millions of logical users at thousands-of-events cost.
+
+Simulating every user as a process would make client traffic the
+simulation's own scalability bug.  A *shard* stands in for an equal slice
+of the user population and converts it to events two ways:
+
+* **open loop** -- each tick, the shard computes its users' aggregate
+  offered demand (an O(1) arithmetic expression: users x rate x curve x
+  tick, plus fractional carry) and issues at most ``sample_cap``
+  *representative* requests, each carrying ``weight = demand / issued``.
+  The latency histograms are weight-aware, so the percentiles describe
+  the full population while the event count stays bounded by
+  ``shards x sample_cap / tick`` -- independent of the user count.
+* **closed loop** -- a fixed crew of workers per shard issues one request,
+  waits for the reply, thinks (exponential), repeats; each worker's
+  results carry ``weight = shard users / workers``.  This is the classic
+  interactive-session model where offered load self-throttles under
+  latency (open loop deliberately does not -- that is what exposes
+  timeout pileups).
+
+All randomness comes from named per-shard / per-worker RNG streams and
+all draws happen in shard-loop order, so traffic is byte-deterministic
+and adding a shard never perturbs another shard's stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.kernel import Timeout
+from .generators import offered_requests
+
+
+@dataclass
+class ShardDemand:
+    """One shard's running demand accounting (for the report's summary)."""
+
+    shard_id: int
+    users: int
+    offered: float = 0.0   # whole requests the population offered
+    issued: int = 0        # representative requests actually simulated
+    ticks: int = 0
+
+    @property
+    def fold_factor(self) -> float:
+        """Logical requests per simulated request (1.0 when unfolded)."""
+        return self.offered / self.issued if self.issued else 0.0
+
+
+def open_loop_shard(engine, shard_id: int, end: float):
+    """Tick-batched open-loop arrivals for one shard (a sim process)."""
+    sim = engine.cluster.sim
+    spec = engine.spec
+    demand = engine.demands[shard_id]
+    stream = f"wl-shard:{shard_id}"
+    start = sim.now
+    carry = 0.0
+    # Stagger shard phases inside one tick: a million users do not all
+    # arrive on the same clock edge.
+    yield Timeout(sim.rng.uniform(stream, 0.0, spec.tick))
+    while sim.now < end:
+        multiplier = engine.curve(sim.now - start)
+        offered = carry + offered_requests(
+            demand.users, spec.rate_per_user, multiplier, spec.tick)
+        whole = int(offered)
+        carry = offered - whole
+        demand.offered += whole
+        demand.ticks += 1
+        if whole > 0:
+            issued = min(whole, spec.sample_cap)
+            weight = whole / issued
+            for _ in range(issued):
+                engine.issue(stream, shard_id, weight)
+            demand.issued += issued
+        yield Timeout(spec.tick)
+
+
+def closed_loop_worker(engine, shard_id: int, worker_id: int, end: float):
+    """One closed-loop worker: request, wait, think, repeat."""
+    sim = engine.cluster.sim
+    spec = engine.spec
+    demand = engine.demands[shard_id]
+    weight = demand.users / spec.workers_per_shard
+    stream = f"wl-worker:{shard_id}:{worker_id}"
+    yield Timeout(sim.rng.uniform(stream, 0.0, spec.think_time))
+    while sim.now < end:
+        demand.offered += weight
+        demand.issued += 1
+        yield from engine.perform(stream, weight)
+        if sim.now >= end:
+            return
+        yield Timeout(sim.rng.expovariate(stream, 1.0 / spec.think_time))

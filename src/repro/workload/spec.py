@@ -1,0 +1,106 @@
+"""The workload specification: everything a traffic run is, as data.
+
+A :class:`WorkloadSpec` describes the *client* side of a scale test: how
+many logical users exist, how they arrive (open loop with a demand curve,
+or closed loop with think time), how their keys are distributed, which
+consistency levels they read and write at, and how coordinators are
+chosen.  It is deliberately a plain JSON-round-trippable dataclass so a
+sweep point, a CLI invocation, and a cached report all carry the exact
+same description of the traffic that produced a latency distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Arrival-loop kinds.
+LOOPS = ("open", "closed")
+#: Coordinator-selection topologies (see :mod:`repro.workload.engine`).
+TOPOLOGIES = ("roundrobin", "powerlaw", "seeds")
+
+
+@dataclass
+class WorkloadSpec:
+    """One client-traffic shape, JSON-round-trippable."""
+
+    #: Logical user population (millions are fine: users are aggregated
+    #: into :attr:`shards`, never simulated individually).
+    users: int = 10_000
+    #: Aggregate generators standing in for the user population.
+    shards: int = 8
+    #: Mean request rate per user (requests / virtual second).
+    rate_per_user: float = 0.1
+    #: Open-loop batching tick (virtual seconds): each shard folds one
+    #: tick's worth of its users' arrivals into one batch.
+    tick: float = 0.5
+    #: Fraction of requests that are reads (the rest are writes).
+    read_fraction: float = 0.7
+    #: Consistency levels, by name ("one" | "quorum" | "all").
+    write_cl: str = "quorum"
+    read_cl: str = "one"
+    #: Distinct keys; popularity is Zipf-distributed over them.
+    key_space: int = 1024
+    #: Zipf skew for key popularity (0 = uniform).
+    zipf_alpha: float = 0.99
+    #: Arrival-curve preset name (see ``repro.workload.generators.CURVES``).
+    curve: str = "constant"
+    #: Curve-specific parameters (period, magnitude, ...).
+    curve_params: Dict[str, float] = field(default_factory=dict)
+    #: "open" (rate-driven arrivals) or "closed" (workers with think time).
+    loop: str = "open"
+    #: Closed loop only: concurrent workers per shard.
+    workers_per_shard: int = 4
+    #: Closed loop only: mean think time between a worker's requests.
+    think_time: float = 1.0
+    #: Coordinator selection: "roundrobin" (uniform), "powerlaw"
+    #: (Zipf-weighted, SNIPPETS's power-law topology), "seeds" (traffic
+    #: concentrates on seed nodes, the seed-registration shape).
+    topology: str = "roundrobin"
+    #: Zipf skew for the powerlaw topology.
+    topology_alpha: float = 1.0
+    #: Open loop only: max representative requests one shard issues per
+    #: tick; demand beyond the cap rides along as per-request *weight*,
+    #: which is how a million users cost thousands of events.
+    sample_cap: int = 8
+
+    def __post_init__(self) -> None:
+        if self.users <= 0:
+            raise ValueError("a workload needs at least one user")
+        if self.shards <= 0:
+            raise ValueError("a workload needs at least one shard")
+        if self.shards > self.users:
+            self.shards = self.users
+        if self.loop not in LOOPS:
+            raise ValueError(f"unknown loop {self.loop!r} "
+                             f"(expected one of {LOOPS})")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {self.topology!r} "
+                             f"(expected one of {TOPOLOGIES})")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be within [0, 1]")
+        if self.tick <= 0 or self.rate_per_user < 0:
+            raise ValueError("tick must be positive, rate non-negative")
+        if self.sample_cap <= 0 or self.workers_per_shard <= 0:
+            raise ValueError("sample_cap and workers_per_shard "
+                             "must be positive")
+
+    def users_in_shard(self, shard_id: int) -> int:
+        """Shard ``shard_id``'s slice of the user population.
+
+        Remainder users go to the lowest-numbered shards, so the slices
+        sum exactly to :attr:`users`.
+        """
+        base, remainder = divmod(self.users, self.shards)
+        return base + (1 if shard_id < remainder else 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})

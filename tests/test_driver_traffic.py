@@ -1,0 +1,91 @@
+"""Membership drivers with client traffic riding along (``traffic=``)."""
+
+import pytest
+
+from repro.cassandra import Cluster, ClusterConfig, Mode
+from repro.cassandra.workloads import (
+    ScenarioParams,
+    run_decommission,
+    run_failover,
+    run_rebalance,
+)
+from repro.workload import WorkloadSpec
+
+pytestmark = pytest.mark.workload
+
+FAST = ScenarioParams(warmup=8.0, observe=20.0, leaving_duration=5.0)
+
+
+def traffic_spec(**overrides):
+    kwargs = dict(users=20_000, shards=8, rate_per_user=0.1, tick=0.5)
+    kwargs.update(overrides)
+    return WorkloadSpec(**kwargs)
+
+
+def storage_cluster(nodes=12, seed=5, **overrides):
+    config = ClusterConfig.for_bug("c3831-fixed", nodes=nodes, seed=seed,
+                                   enable_storage=True, **overrides)
+    return Cluster(config)
+
+
+class TestDecommissionTraffic:
+    def test_traffic_report_rides_on_the_membership_report(self):
+        report = run_decommission(storage_cluster(), FAST,
+                                  traffic=traffic_spec())
+        assert report.requests_attempted > 0
+        assert report.requests_ok > 0
+        assert report.latency_p50 is not None
+        assert report.workload["spec"]["users"] == 20_000
+        # The membership side of the report is still filled in.
+        assert report.messages_delivered > 0
+
+    def test_no_traffic_leaves_data_plane_fields_zeroed(self):
+        report = run_decommission(storage_cluster(), FAST)
+        assert report.requests_attempted == 0
+        assert report.latency_p99 is None
+        assert report.workload == {}
+
+
+class TestFailoverTraffic:
+    def test_crash_surfaces_as_latency_while_detection_lags(self):
+        # Quorum reads make the dead replica's silence count: a read that
+        # touches it cannot assemble 2 acks and times out.
+        report = run_failover(storage_cluster(nodes=16), FAST,
+                              traffic=traffic_spec(read_cl="quorum",
+                                                   write_cl="quorum"))
+        # The dead-but-unconvicted replica turns into rpc timeouts: the
+        # user-visible face of slow failure detection.
+        assert report.requests_timeout > 0
+        assert report.latency_p99 is not None
+        assert report.latency_p99 > 1.0
+        # Failover bookkeeping still works alongside the traffic.
+        assert report.extra["true_detections"] >= 0
+        assert "collateral_flaps" in report.extra
+
+    def test_failover_without_traffic_still_counts_detections(self):
+        report = run_failover(storage_cluster(), FAST)
+        assert report.requests_attempted == 0
+        assert report.extra["true_detections"] >= 1
+
+
+class TestSmallScaleDrivers:
+    """Satellite coverage: drivers behave at small N with scaled params."""
+
+    def test_scaled_params_shrink_only_time_like_knobs(self):
+        scaled = FAST.scaled(0.5)
+        assert scaled.warmup == pytest.approx(4.0)
+        assert scaled.observe == pytest.approx(10.0)
+        assert scaled.leaving_duration == pytest.approx(2.5)
+        assert scaled.crash_count == FAST.crash_count
+
+    def test_failover_at_small_n_with_scaled_params(self):
+        params = ScenarioParams(warmup=30.0, observe=80.0).scaled(0.5)
+        report = run_failover(storage_cluster(nodes=6), params)
+        assert report.duration > 0
+        assert report.extra["true_detections"] >= 1
+
+    def test_rebalance_fixed_path_at_small_n(self):
+        cluster = Cluster(ClusterConfig.for_bug("c3881-fixed", nodes=6,
+                                                mode=Mode.COLO, seed=5))
+        report = run_rebalance(cluster, FAST, space_oblivious=False)
+        assert report.extra["rebalance_oom_crashes"] == 0

@@ -1,0 +1,136 @@
+"""Sweep integration for workload points: axes, expansion, caching."""
+
+import pytest
+
+from repro.cassandra.workloads import ScenarioParams
+from repro.sweep import SweepPoint, SweepSpec, run_sweep
+
+pytestmark = pytest.mark.workload
+
+NODES = 8
+FAST = ScenarioParams(warmup=5.0, observe=10.0)
+
+
+def wl_spec(**overrides):
+    kwargs = dict(bugs=["c3831-fixed"], scales=[NODES], seeds=[1],
+                  modes=["colo"], workloads=["steady"])
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+# -- point validation ---------------------------------------------------------
+
+
+def test_users_override_requires_a_workload_preset():
+    with pytest.raises(ValueError, match="need a workload preset"):
+        SweepPoint(bug_id="c3831", nodes=NODES, mode="colo", seed=1,
+                   users=1000)
+
+
+def test_consistency_override_requires_a_workload_preset():
+    with pytest.raises(ValueError, match="need a workload preset"):
+        SweepPoint(bug_id="c3831", nodes=NODES, mode="colo", seed=1,
+                   consistency="quorum")
+
+
+def test_workload_point_rejects_pil_mode():
+    with pytest.raises(ValueError, match="real/colo"):
+        SweepPoint(bug_id="c3831", nodes=NODES, mode="pil", seed=1,
+                   workload="steady")
+
+
+def test_workload_point_label_carries_the_new_axes():
+    point = SweepPoint(bug_id="c3831", nodes=NODES, mode="colo", seed=1,
+                       workload="diurnal", users=5000, consistency="all")
+    label = point.label()
+    assert "wl=diurnal" in label
+    assert "U=5000" in label
+    assert "cl=all" in label
+
+
+def test_point_dict_round_trip_keeps_workload_fields():
+    point = SweepPoint(bug_id="c3831", nodes=NODES, mode="real", seed=2,
+                       workload="steady", users=1234, consistency="one")
+    assert SweepPoint.from_dict(point.to_dict()) == point
+
+
+def test_old_point_dicts_without_workload_fields_still_load():
+    data = SweepPoint(bug_id="c3831", nodes=NODES, mode="colo",
+                      seed=1).to_dict()
+    for key in ("workload", "users", "consistency"):
+        data.pop(key, None)
+    point = SweepPoint.from_dict(data)
+    assert point.workload is None and point.users is None
+
+
+# -- spec expansion -----------------------------------------------------------
+
+
+def test_expand_filters_pil_from_workload_combos():
+    spec = wl_spec(modes=["colo", "pil"], workloads=[None, "steady"])
+    points = spec.expand()
+    membership = [p for p in points if p.workload is None]
+    traffic = [p for p in points if p.workload is not None]
+    assert sorted(p.mode for p in membership) == ["colo", "pil"]
+    assert [p.mode for p in traffic] == ["colo"]
+
+
+def test_expand_rejects_workload_with_only_pil_modes():
+    spec = wl_spec(modes=["pil"])
+    with pytest.raises(ValueError, match="real or colo"):
+        spec.expand()
+
+
+def test_users_axis_only_multiplies_under_a_preset():
+    spec = wl_spec(workloads=[None, "steady"], users=[1000, 2000])
+    points = spec.expand()
+    membership = [p for p in points if p.workload is None]
+    traffic = [p for p in points if p.workload is not None]
+    assert len(membership) == 1             # no users axis without a preset
+    assert sorted(p.users for p in traffic) == [1000, 2000]
+
+
+def test_spec_round_trip_keeps_workload_axes():
+    spec = wl_spec(workloads=["steady", "diurnal"], users=[None, 5000],
+                   consistencies=["quorum"])
+    clone = SweepSpec.from_dict(spec.to_dict())
+    assert clone.workloads == spec.workloads
+    assert clone.users == spec.users
+    assert clone.consistencies == spec.consistencies
+    assert [p.label() for p in clone.expand()] == [
+        p.label() for p in spec.expand()]
+
+
+def test_old_spec_dicts_without_workload_axes_still_load():
+    data = wl_spec().to_dict()
+    for key in ("workloads", "users", "consistencies"):
+        data.pop(key, None)
+    spec = SweepSpec.from_dict(data)
+    assert spec.workloads == [None]
+    assert spec.users == [None]
+    assert spec.consistencies == [None]
+
+
+# -- execution + caching ------------------------------------------------------
+
+
+def test_workload_points_execute_and_cache(tmp_path):
+    spec = wl_spec(users=[2000])
+    cold = run_sweep(spec, cache_dir=tmp_path, params=FAST)
+    assert cold.executed == 1 and cold.cached == 0
+    (result,) = cold.results
+    report = result.report
+    assert report["requests_attempted"] > 0
+    assert report["latency_p99"] is not None
+    warm = run_sweep(spec, cache_dir=tmp_path, params=FAST)
+    assert warm.executed == 0 and warm.cached == 1
+    assert warm.results[0].report == report
+
+
+def test_workload_and_membership_points_coexist(tmp_path):
+    spec = wl_spec(workloads=[None, "steady"], users=[2000])
+    summary = run_sweep(spec, cache_dir=tmp_path, params=FAST)
+    assert summary.executed == 2
+    by_wl = {r.point.workload: r.report for r in summary.results}
+    assert by_wl[None].get("requests_attempted", 0) == 0
+    assert by_wl["steady"]["requests_attempted"] > 0
