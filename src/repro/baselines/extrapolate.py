@@ -13,10 +13,14 @@ the training signal is identically zero, so any regression predicts ~zero
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
+
+# numpy 2 moved RankWarning into np.exceptions; accept either home.
+_RANK_WARNING = getattr(getattr(np, "exceptions", np), "RankWarning", Warning)
 
 from ..cassandra.metrics import RunReport
 
@@ -53,13 +57,34 @@ class ExtrapolationResult:
 
 def fit_and_predict(train_scales: Sequence[int], train_values: Sequence[float],
                     target_scale: int, degree: int = 2) -> float:
-    """Least-squares polynomial extrapolation (clamped at zero)."""
+    """Least-squares polynomial extrapolation (clamped at zero).
+
+    The return value is guaranteed finite and non-negative; degenerate
+    training data raises :class:`ValueError` instead of silently leaking
+    NaN into ``missed``/``relative_error`` comparisons downstream (a NaN
+    prediction makes every comparison False, which reads as "extrapolation
+    nailed it" -- the worst possible failure mode for a baseline whose
+    whole job is to demonstrate misses).
+    """
     if len(train_scales) != len(train_values) or not train_scales:
         raise ValueError("need matching, non-empty training data")
-    degree = min(degree, len(train_scales) - 1)
-    coeffs = np.polyfit(np.array(train_scales, dtype=float),
-                        np.array(train_values, dtype=float), deg=max(degree, 0))
+    xs = np.array(train_scales, dtype=float)
+    ys = np.array(train_values, dtype=float)
+    if not (np.isfinite(xs).all() and np.isfinite(ys).all()):
+        raise ValueError("training data must be finite")
+    # Duplicate training scales make higher-degree fits rank-deficient;
+    # cap the degree at (distinct points - 1) so the system stays
+    # determined (a single distinct scale degrades to a constant fit).
+    distinct = np.unique(xs).size
+    degree = max(0, min(degree, distinct - 1))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", _RANK_WARNING)
+        coeffs = np.polyfit(xs, ys, deg=degree)
     predicted = float(np.polyval(coeffs, float(target_scale)))
+    if not np.isfinite(predicted):
+        raise ValueError(
+            f"degenerate polynomial fit (scales={list(train_scales)!r}, "
+            f"degree={degree}) produced a non-finite prediction")
     return max(predicted, 0.0)
 
 

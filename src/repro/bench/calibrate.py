@@ -81,6 +81,10 @@ def ci_cost_constants(bug_id: str, ci_top: int = CI_TOP,
     """
     bug = get_bug(bug_id)
     base = CostConstants()
+    # The ported-fault mechanisms are all O(N^2)-per-node totals (close
+    # scans, ring rescans, retry backlogs), so one quadratic ratio maps the
+    # CI top scale's wedge onto the paper top scale's wedge for all three.
+    fault_ratio = (paper_top / ci_top) ** 2
     return CostConstants(
         k0_c3831=base.k0_c3831 * _variant_ratio(
             CalculatorVariant.V0_C3831, bug.vnodes, ci_top, paper_top),
@@ -91,6 +95,9 @@ def ci_cost_constants(bug_id: str, ci_top: int = CI_TOP,
         k3_bootstrap=base.k3_bootstrap * _variant_ratio(
             CalculatorVariant.V3_BOOTSTRAP_C6127, bug.vnodes, ci_top, paper_top),
         floor=base.floor,
+        k_close_scan=base.k_close_scan * fault_ratio,
+        k_handoff_scan=base.k_handoff_scan * fault_ratio,
+        k_retry=base.k_retry * fault_ratio,
     )
 
 

@@ -60,6 +60,22 @@ class BugConfig:
     #: Calculator used on the bootstrap-from-scratch path, if different
     #: (CASSANDRA-6127's branch-guarded fresh ring construction).
     fresh_bootstrap_variant: Optional[CalculatorVariant] = None
+    #: Ported fault (ZooKeeper-style session-close broadcast): every node
+    #: observing a departed member broadcasts per-session close
+    #: notifications to all known endpoints, and each receiver scans its
+    #: whole session table per close -- O(N) work arriving N times, an
+    #: O(N^2) gossip-stage wedge cluster-wide on one decommission.
+    close_broadcast: bool = False
+    #: Ported fault (Riak-style ring-handoff scan): while membership
+    #: changes are in flight, every gossip round rescans the full vnode
+    #: ring against itself looking for handoff partners -- O(T^2) on the
+    #: gossip task, starving heartbeat production.
+    handoff_scan: bool = False
+    #: Ported fault (retry amplification under partial partition):
+    #: retries to unreachable peers double every round and the backlog
+    #: scales with the session table, so the sender's gossip task pays
+    #: O(N^2) per round once any peer is convicted.
+    retry_storm: bool = False
     fixed: bool = False
 
     def calculator_for(self, fresh_bootstrap: bool) -> CalculatorVariant:
@@ -132,14 +148,70 @@ def _build_registry() -> Dict[str, BugConfig]:
         title="CASSANDRA-6127 fix: fresh bootstrap shares the incremental path",
         fresh_bootstrap_variant=None, recalc_storm=False,
     )
+    # -- ported faults (ZooKeeper/Riak-style patterns, "Understanding and
+    # -- Detecting Scalability Faults") on an otherwise fixed substrate ------
+    zkclose = BugConfig(
+        bug_id="zkclose",
+        title="ported: O(N) session-close broadcast on member departure "
+              "(ZooKeeper-style), O(N^2) close-scan wedge cluster-wide",
+        variant=CalculatorVariant.V2_VNODE_FIX,
+        workload=Workload.DECOMMISSION,
+        vnodes=1,
+        calc_in_gossip_stage=True,
+        recalc_storm=False,
+        close_broadcast=True,
+    )
+    zkclose_fixed = replace(
+        zkclose, bug_id="zkclose-fixed", fixed=True,
+        title="ported fix: session closes batched per peer, O(1) apply",
+        close_broadcast=False,
+    )
+    rhandoff = BugConfig(
+        bug_id="rhandoff",
+        title="ported: quadratic ring-handoff scan while changes are "
+              "pending (Riak-style), O(T^2) per gossip round",
+        variant=CalculatorVariant.V2_VNODE_FIX,
+        workload=Workload.SCALE_OUT,
+        vnodes=64,
+        calc_in_gossip_stage=True,
+        recalc_storm=False,
+        handoff_scan=True,
+    )
+    rhandoff_fixed = replace(
+        rhandoff, bug_id="rhandoff-fixed", fixed=True,
+        title="ported fix: indexed handoff targets, no ring rescans",
+        handoff_scan=False,
+    )
+    retryamp = BugConfig(
+        bug_id="retryamp",
+        title="ported: unbounded retry amplification to unreachable peers "
+              "under partial partition, O(N^2) sender wedge per round",
+        variant=CalculatorVariant.V2_VNODE_FIX,
+        workload=Workload.FAILOVER,
+        vnodes=1,
+        calc_in_gossip_stage=True,
+        recalc_storm=False,
+        retry_storm=True,
+    )
+    retryamp_fixed = replace(
+        retryamp, bug_id="retryamp-fixed", fixed=True,
+        title="ported fix: capped exponential backoff, one probe per round",
+        retry_storm=False,
+    )
     registry = {}
     for config in (c3831, c3831_fixed, c3881, c3881_fixed,
-                   c5456, c5456_fixed, c6127, c6127_fixed):
+                   c5456, c5456_fixed, c6127, c6127_fixed,
+                   zkclose, zkclose_fixed, rhandoff, rhandoff_fixed,
+                   retryamp, retryamp_fixed):
         registry[config.bug_id] = config
     return registry
 
 
 _REGISTRY = _build_registry()
+
+#: Ids of the faults ported from other systems' bug reports (the grown
+#: corpus beyond the four paper bugs); each has a ``-fixed`` counterpart.
+PORTED_FAULT_IDS = ("zkclose", "rhandoff", "retryamp")
 
 
 def get_bug(bug_id: str) -> BugConfig:

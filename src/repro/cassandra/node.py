@@ -62,6 +62,10 @@ from .tokens import TokenRange
 lock_protects("ring_lock", "metadata",
               note="ring table (TokenMetadata) ownership, C5456 seam")
 
+#: Wire kind of the ported zkclose fault's per-session close notification
+#: (not a gossip message: the stage pays a session-table scan and drops it).
+SESSION_CLOSE = "session-close"
+
 
 @dataclass
 class NodeCosts:
@@ -220,6 +224,7 @@ class Node:
             network.register(f"{node_id}:storage", self.storage_inbox)
         self.running = False
         self._ring_dirty = False
+        self._retry_attempts: Dict[str, int] = {}
         self._processes: List = []
         self.calc_invocations = 0
         self.round_lateness_max = 0.0
@@ -243,6 +248,8 @@ class Node:
         elif status == STATUS_LEFT:
             self.metadata.remove_endpoint(endpoint)
         self._ring_dirty = True
+        if status == STATUS_LEFT and self.bug.close_broadcast and self.running:
+            self._broadcast_session_closes(endpoint)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -282,6 +289,45 @@ class Node:
             process.interrupt()
         self._processes = []
 
+    # -- ported faults -----------------------------------------------------------------
+
+    def _broadcast_session_closes(self, departed: str) -> None:
+        """Ported zkclose fault: one close notification per known peer.
+
+        The real pattern (ZooKeeper-style): a member's departure closes its
+        sessions, and the close is *broadcast* instead of batched -- every
+        observer tells every peer, so the cluster pays N^2 messages and each
+        receiver scans its session table per close.
+        """
+        for peer in self.gossiper.known_endpoints():
+            if peer != self.node_id and peer != departed:
+                self._send(peer, SESSION_CLOSE, departed)
+
+    def _retry_backlog_cost(self) -> float:
+        """Ported retryamp fault: this round's retry-amplification demand.
+
+        Attempts to each unreachable peer double every round (no backoff
+        cap beyond the session table itself: the backlog grows with N), and
+        each attempt rebuilds a full digest -- O(attempts x N) per peer per
+        round on the gossip task, starving heartbeat production.
+        """
+        dead = self.gossiper.unreachable_endpoints
+        attempts_map = self._retry_attempts
+        if not dead:
+            if attempts_map:
+                attempts_map.clear()
+            return 0.0
+        sessions = len(self.gossiper.endpoint_state_map)
+        cap = 4 * sessions
+        cost = 0.0
+        for peer in sorted(dead):
+            attempts = attempts_map.get(peer, 1)
+            cost += self.cost_constants.k_retry * attempts * sessions
+            attempts_map[peer] = min(attempts * 2, cap)
+        for peer in [p for p in attempts_map if p not in dead]:
+            del attempts_map[peer]
+        return cost
+
     # -- membership announcements ----------------------------------------------------
 
     def announce_tokens(self) -> None:
@@ -309,6 +355,13 @@ class Node:
         while self.running:
             cost = (self.costs.gossip_round_base
                     + self.costs.per_digest * len(self.gossiper.endpoint_state_map))
+            if self.bug.handoff_scan and self.metadata.has_pending_changes():
+                # ported rhandoff fault: rescan the full ring against
+                # itself for handoff partners, every round changes pend
+                tokens = max(1, self.metadata.token_count())
+                cost += self.cost_constants.k_handoff_scan * tokens * tokens
+            if self.bug.retry_storm:
+                cost += self._retry_backlog_cost()
             yield Compute(self.cpu, cost, tag=f"round:{self.node_id}")
             self.gossiper.do_round()
             lateness = max(0.0, self.sim.now - intended - cost)
@@ -322,6 +375,16 @@ class Node:
         locked_stage = self.bug.lock_mode in (LockMode.COARSE, LockMode.CLONE)
         while self.running:
             message: Message = yield Get(self.inbox)
+            if message.kind == SESSION_CLOSE:
+                # ported zkclose fault: each close scans the whole session
+                # table (one session per known peer) before being dropped.
+                sessions = len(self.gossiper.endpoint_state_map)
+                yield Compute(
+                    self.cpu,
+                    self.costs.message_base
+                    + self.cost_constants.k_close_scan * sessions,
+                    tag=f"close-scan:{self.node_id}")
+                continue
             entries = estimate_entries(message.kind, message.payload)
             cost = self.costs.message_base + self.costs.per_entry * entries
             if locked_stage:

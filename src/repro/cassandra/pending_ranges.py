@@ -120,6 +120,15 @@ class CostConstants:
     k3_bootstrap: float = 7.0e-13
     #: Floor so a calculation is never free (parsing, allocation, ...).
     floor: float = 1e-4
+    # Ported-fault coefficients (loop-literal corpus in
+    # repro.cassandra.ported_faults; runtime charges in repro.cassandra.node).
+    # Calibrated for paper scales: latent below ~N=100, manifest at N=256.
+    #: zkclose -- per (close message x session-table entry) scan cost.
+    k_close_scan: float = 5.4e-4
+    #: rhandoff -- per ring-token pair scanned per gossip round.
+    k_handoff_scan: float = 4.5e-8
+    #: retryamp -- per (retry attempt x digest entry) resend cost.
+    k_retry: float = 4.6e-5
 
 
 DEFAULT_COSTS = CostConstants()

@@ -1,0 +1,133 @@
+"""Loop-literal corpus of the ported scalability faults.
+
+Like :mod:`repro.cassandra.calc_variants`, the runtime model charges these
+faults' CPU demand *arithmetically* (:mod:`repro.cassandra.node` reads the
+``k_close_scan``/``k_handoff_scan``/``k_retry`` cost constants), which makes
+their loop structure invisible to static analysis.  This module is the
+analyzable counterpart: one function per ported fault, written with exactly
+the loop shape the original bug reports describe, so the
+:mod:`repro.analysis` linter can flag each of them as a hunt candidate:
+
+* :func:`apply_session_closes` -- ZooKeeper-style session-close handling:
+  one departure produces a close notification per observer, and each close
+  scans the receiver's whole session table, O(C·S) with both C and S
+  proportional to cluster size (the ``zkclose`` bug config).
+* :func:`handoff_pending_scan` -- Riak-style handoff target search: while
+  transfers are pending, each one re-walks the full ring and re-walks it
+  again per position to find its partner, O(H·T^2) (``rhandoff``).
+* :func:`replay_retry_backlog` -- retry amplification under partial
+  partition: every queued retry resends a digest per known session,
+  O(R·S) with an R that grows unboundedly while the peer stays
+  unreachable (``retryamp``).
+
+All three are executable on small inputs (unit-tested for semantics); the
+inefficiencies are the point -- do not "fix" them.  The ``hunt`` pipeline
+maps each function to its runnable bug config and confirms the static
+candidate dynamically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..annotations import scale_dependent
+
+scale_dependent(
+    "session_table",
+    var="S",
+    note="per-node session/watch table: one entry per peer session (S ~ N)",
+)
+scale_dependent(
+    "close_queue",
+    var="C",
+    note="session-close notifications from one departure wave (C ~ N)",
+)
+scale_dependent(
+    "handoff_ring",
+    var="T",
+    note="vnode ring scanned for handoff partners: T = N*P entries",
+)
+scale_dependent(
+    "pending_transfers",
+    var="H",
+    note="in-flight handoff transfer list during a membership change",
+)
+scale_dependent(
+    "retry_backlog",
+    var="R",
+    note="queued retry attempts to unreachable peers (grows per round)",
+)
+
+#: Which runnable bug config each corpus function corresponds to; the hunt
+#: pipeline's probe registry is derived from this mapping.
+BUG_OF = {
+    "apply_session_closes": "zkclose",
+    "handoff_pending_scan": "rhandoff",
+    "replay_retry_backlog": "retryamp",
+}
+
+Session = Tuple[str, str]        # (owner endpoint, session id)
+
+
+# -- zkclose: O(C·S) session-close scan per departure wave ----------------------
+
+def apply_session_closes(close_queue: List[str],
+                         session_table: List[Session]) -> Dict[str, str]:
+    """Drop every session owned by a departed member: O(C·S).
+
+    The close for one departure arrives once per observer (C ~ N), and the
+    receiver scans its whole session table (S ~ N) per close instead of
+    indexing sessions by owner -- the O(N^2) wedge the ``zkclose`` config
+    charges on the gossip stage.
+    """
+    dropped: Dict[str, str] = {}
+    for departed in close_queue:
+        for owner, session in session_table:
+            if owner == departed:
+                dropped[session] = owner
+    return dropped
+
+
+# -- rhandoff: O(H·T^2) handoff partner search ----------------------------------
+
+def handoff_pending_scan(handoff_ring: List[int], handoff_owners: List[str],
+                         pending_transfers: List[int]) -> Dict[int, str]:
+    """Find each pending transfer's handoff partner by raw rescans: O(H·T^2).
+
+    Per pending transfer the ring is walked in full, and every walk step
+    re-scans the whole ring for the next distinct owner instead of using an
+    index -- the quadratic scan the ``rhandoff`` config charges on the
+    gossip task each round while changes are pending.
+    """
+    partners: Dict[int, str] = {}
+    for transfer in pending_transfers:
+        for index in range(len(handoff_ring)):
+            if handoff_ring[index] != transfer:
+                continue
+            source = handoff_owners[index]
+            for probe in range(len(handoff_ring)):
+                candidate = handoff_owners[(index + 1 + probe)
+                                           % len(handoff_ring)]
+                if candidate != source:
+                    partners[transfer] = candidate
+                    break
+    return partners
+
+
+# -- retryamp: O(R·S) retry replay per round ------------------------------------
+
+def replay_retry_backlog(retry_backlog: List[str],
+                         session_table: List[Session]) -> int:
+    """Resend session state for every queued retry attempt: O(R·S).
+
+    Every attempt to an unreachable peer replays the full session table
+    (one digest per session) instead of a single capped probe; with the
+    backlog doubling per round, the sender's per-round cost is unbounded --
+    the ``retryamp`` config's gossip-task wedge.
+    """
+    resent = 0
+    for peer in retry_backlog:
+        for owner, _session in session_table:
+            if owner != peer:
+                resent += 1
+    return resent

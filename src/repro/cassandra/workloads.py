@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..sim.kernel import Timeout
+from ..sim.memory import OutOfMemoryError
 from .bugs import Workload
 from .cluster import Cluster, node_name
 from .metrics import RunReport
@@ -291,8 +292,11 @@ def run_rebalance(cluster: Cluster,
             try:
                 allocation = cluster.memory.allocate(
                     node.node_id, size, "rebalance-services")
-            except Exception:
+            except OutOfMemoryError:
                 # OOM: the node crashes mid-rebalance (section 6's story).
+                # Only allocation failure means "crash and keep going" --
+                # anything else (a bad size, an accounting bug) must
+                # propagate instead of masquerading as an OOM casualty.
                 cluster.crashed_for_oom.append(node.node_id)
                 cluster.network.crash(node.node_id)
                 node.stop()

@@ -13,6 +13,10 @@ Commands map one-to-one onto the library's main entry points:
 * ``lint``       -- run the whole-program scalability linter (complexity,
                     PIL-safety, lock discipline, determinism, cost-model
                     drift) with baseline suppression and SARIF/JSON output;
+* ``hunt``       -- the detect -> sweep -> confirm pipeline: lint the tree
+                    for scale-dependent candidates, sweep each across an
+                    N-ladder, and confirm/refute via fitted flap curves,
+                    extrapolation misses, and divergence attribution;
 * ``figure3``    -- regenerate one Figure 3 panel (flaps vs scale);
 * ``sweep``      -- run a declarative (bug, scale, seed, mode, chaos,
                     workload) grid through the parallel sweep engine with a
@@ -229,6 +233,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.self_check and not report.self_check_ok:
         return 2
     return 1 if report.findings else 0
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    from .hunt import HuntConfig, run_hunt
+
+    config = HuntConfig(
+        targets=tuple(args.targets),
+        scales=args.scales,
+        hdfs_scales=tuple(args.hdfs_scales),
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        min_symptom=args.min_symptom,
+        with_self_check=args.self_check,
+    )
+    report = run_hunt(config)
+    output = report.to_json() if args.format == "json" else report.to_text()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"{args.format} report written to {args.out}")
+    else:
+        print(output, end="")
+    if args.self_check and not report.self_check_ok:
+        return 2
+    return 0
 
 
 def _cmd_figure3(args: argparse.Namespace) -> int:
@@ -498,6 +528,37 @@ def build_parser() -> argparse.ArgumentParser:
                            "bug paths (C3831/C3881/C5456/C6127, HDFS O(B)); "
                            "exit 2 on failure")
     lint.set_defaults(func=_cmd_lint)
+
+    hunt = sub.add_parser(
+        "hunt",
+        help="hunt scalability bugs: lint candidates, sweep each across an "
+             "N-ladder, confirm or refute with curve fits and baselines")
+    hunt.add_argument("--targets", nargs="+",
+                      default=["repro.cassandra", "repro.hdfs"],
+                      help="packages the detect stage lints for candidates")
+    hunt.add_argument("--scales", type=int, nargs="*", default=None,
+                      help="Cassandra N-ladder (default: the current "
+                           "calibration's Figure-3 scales)")
+    hunt.add_argument("--hdfs-scales", type=int, nargs="*",
+                      default=[8, 16, 32, 64],
+                      help="datanode ladder for the HDFS probe")
+    hunt.add_argument("--seed", type=int, default=42)
+    hunt.add_argument("--workers", type=int, default=1,
+                      help="sweep worker processes")
+    hunt.add_argument("--cache-dir", default=None,
+                      help="persistent sweep cache; a re-hunt with the "
+                           "same cache is served warm")
+    hunt.add_argument("--min-symptom", type=float, default=20.0,
+                      help="smallest top-scale symptom that confirms")
+    hunt.add_argument("--format", default="text", choices=["text", "json"])
+    hunt.add_argument("--out", default=None,
+                      help="write the report to this file instead of stdout")
+    hunt.add_argument("--self-check", action="store_true",
+                      help="assert the hunt rediscovers the whole planted "
+                           "bug corpus (paper bugs + ported faults) and "
+                           "refutes the fixed-path control; exit 2 on "
+                           "failure")
+    hunt.set_defaults(func=_cmd_hunt)
 
     figure3 = sub.add_parser("figure3", help="regenerate a Figure 3 panel")
     figure3.add_argument("--bug", default="c3831",

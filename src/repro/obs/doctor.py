@@ -261,20 +261,30 @@ def attribute_divergence(reports: Dict[str, "object"]) -> Dict[str, Dict]:
     "why did colocation see 10x the flaps?" is usually "because this stage
     queued 100x longer".
     """
-    real = reports["real"]
+    real = reports.get("real")
     real_lateness = getattr(real, "stage_lateness", {}) or {}
     out: Dict[str, Dict] = {}
     for mode, report in reports.items():
         if mode == "real":
             continue
         lateness = getattr(report, "stage_lateness", {}) or {}
+        # A missing real-mode baseline or reports with no stage-lateness
+        # instrumentation cannot be attributed -- say so structurally
+        # instead of raising, so callers (the hunt pipeline, doctor CLI)
+        # can render "unattributable" rather than crash mid-report.
+        if real is None or not (lateness or real_lateness):
+            out[mode] = {
+                "stage": None,
+                "excess_lateness": 0.0,
+                "unattributable": ("no real-mode baseline report"
+                                   if real is None
+                                   else "no stage-lateness data"),
+            }
+            continue
         excess = {
             stage: lateness.get(stage, 0.0) - real_lateness.get(stage, 0.0)
             for stage in set(lateness) | set(real_lateness)
         }
-        if not excess:
-            out[mode] = {"stage": None, "excess_lateness": 0.0}
-            continue
         stage = max(excess, key=excess.get)
         out[mode] = {
             "stage": stage if excess[stage] > 0 else None,

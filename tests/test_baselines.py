@@ -81,6 +81,24 @@ class TestExtrapolation:
         with pytest.raises(ValueError):
             fit_and_predict([], [], 10)
 
+    def test_duplicate_train_scales_stay_finite(self):
+        """Duplicate scales rank-deficient-ify higher-degree fits; the
+        degree must cap at (distinct points - 1) so no NaN leaks out."""
+        predicted = fit_and_predict([8, 8, 8, 8], [3.0, 5.0, 3.0, 5.0],
+                                    128, degree=2)
+        assert predicted == pytest.approx(4.0)  # constant fit: the mean
+
+    def test_two_distinct_scales_cap_to_linear(self):
+        predicted = fit_and_predict([4, 4, 8, 8], [2.0, 2.0, 4.0, 4.0],
+                                    16, degree=3)
+        assert predicted == pytest.approx(8.0)
+
+    def test_non_finite_training_data_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            fit_and_predict([4, 8], [float("nan"), 1.0], 100)
+        with pytest.raises(ValueError, match="finite"):
+            fit_and_predict([4, float("inf")], [1.0, 2.0], 100)
+
     def test_latent_bug_is_missed(self):
         """Zero training signal -> zero prediction -> missed bug."""
         runner = fake_runner_factory(lambda n: 500 if n >= 100 else 0)

@@ -27,7 +27,8 @@ def test_unknown_bug_raises_helpfully():
 def test_all_bugs_exclude_fixed_filter():
     buggy = all_bugs(include_fixed=False)
     assert all(not b.fixed for b in buggy)
-    assert len(buggy) == 4
+    # Four paper bugs plus the three ported faults.
+    assert len(buggy) == 7
 
 
 def test_c3831_runs_cubic_calc_in_gossip_stage():

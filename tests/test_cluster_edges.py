@@ -150,6 +150,22 @@ class TestRebalanceSpaceObliviousness:
         assert report.extra["rebalance_oom_crashes"] == 0
         assert report.memory_peak_bytes < 8 * 1024 ** 3
 
+    def test_non_oom_allocation_error_propagates(self):
+        """Only OutOfMemoryError means "node crashes, run continues";
+        an accounting bug in the allocator must not be masked as OOM."""
+        config = ClusterConfig.for_bug("c3881-fixed", nodes=4,
+                                       mode=Mode.COLO, seed=3)
+        cluster = Cluster(config)
+
+        def broken_allocate(owner, size, label):
+            raise RuntimeError("allocator accounting bug")
+
+        cluster.memory.allocate = broken_allocate
+        from repro.cassandra.workloads import run_rebalance
+        with pytest.raises(RuntimeError, match="accounting bug"):
+            run_rebalance(cluster, FAST, space_oblivious=True)
+        assert not cluster.crashed_for_oom
+
     def test_transient_allocations_are_freed(self):
         cluster, report = self.run(oblivious=False)
         # After the rebalance window, services are freed: usage back to

@@ -260,7 +260,25 @@ def test_attribute_divergence_names_worst_excess_stage():
 def test_attribute_divergence_handles_missing_lateness():
     reports = {"real": _FakeReport({}), "colo": _FakeReport({})}
     out = attribute_divergence(reports)
-    assert out["colo"] == {"stage": None, "excess_lateness": 0.0}
+    assert out["colo"]["stage"] is None
+    assert out["colo"]["excess_lateness"] == 0.0
+    assert out["colo"]["unattributable"] == "no stage-lateness data"
+
+
+def test_attribute_divergence_handles_missing_real_report():
+    reports = {"colo": _FakeReport({"gossip-stage-queue": 50.0})}
+    out = attribute_divergence(reports)
+    assert out["colo"] == {
+        "stage": None,
+        "excess_lateness": 0.0,
+        "unattributable": "no real-mode baseline report",
+    }
+
+
+def test_attribute_divergence_handles_report_without_lateness_attr():
+    reports = {"real": object(), "colo": object()}
+    out = attribute_divergence(reports)
+    assert out["colo"]["unattributable"] == "no stage-lateness data"
 
 
 def test_doctor_render_handles_uncontended_run():

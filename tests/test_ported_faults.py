@@ -1,0 +1,133 @@
+"""Tests for the ported scalability faults (zkclose / rhandoff / retryamp).
+
+Each fault must be *latent* at small scale and *manifest* at the
+scale-check scale under the CI calibration -- the paper's core claim,
+re-proved for the grown corpus -- and its ``-fixed`` counterpart must show
+no symptom at any scale.
+"""
+
+import pytest
+
+from repro.bench.runner import make_check
+from repro.cassandra.bugs import PORTED_FAULT_IDS, get_bug
+from repro.cassandra.node import Node
+from repro.cassandra.pending_ranges import CostConstants
+from repro.cassandra.ported_faults import (
+    BUG_OF,
+    apply_session_closes,
+    handoff_pending_scan,
+    replay_retry_backlog,
+)
+
+LATENT_N = 8
+MANIFEST_N = 32
+
+
+def symptom(bug_id, report):
+    """The fault's headline symptom count for one run."""
+    if get_bug(bug_id).workload.value == "failover":
+        # Convicting the genuinely crashed node is correct behaviour; the
+        # symptom is collateral flaps of live nodes.
+        return int(report.extra.get("collateral_flaps", 0))
+    return report.flaps
+
+
+class TestRegistry:
+    def test_all_ported_faults_registered_with_fixes(self):
+        for bug_id in PORTED_FAULT_IDS:
+            bug = get_bug(bug_id)
+            fixed = get_bug(f"{bug_id}-fixed")
+            assert not bug.fixed and fixed.fixed
+            assert BUG_OF  # corpus mapping covers every ported fault
+        assert set(BUG_OF.values()) == set(PORTED_FAULT_IDS)
+
+    def test_flags_differ_between_bug_and_fix(self):
+        assert get_bug("zkclose").close_broadcast
+        assert not get_bug("zkclose-fixed").close_broadcast
+        assert get_bug("rhandoff").handoff_scan
+        assert not get_bug("rhandoff-fixed").handoff_scan
+        assert get_bug("retryamp").retry_storm
+        assert not get_bug("retryamp-fixed").retry_storm
+
+    def test_paper_bugs_do_not_carry_ported_flags(self):
+        for bug_id in ("c3831", "c3881", "c5456", "c6127"):
+            bug = get_bug(bug_id)
+            assert not (bug.close_broadcast or bug.handoff_scan
+                        or bug.retry_storm)
+
+
+class TestCorpusSemantics:
+    def test_apply_session_closes_drops_departed_sessions(self):
+        table = [("node-001", "s1"), ("node-002", "s2"), ("node-001", "s3")]
+        dropped = apply_session_closes(["node-001"], table)
+        assert dropped == {"s1": "node-001", "s3": "node-001"}
+        assert apply_session_closes([], table) == {}
+
+    def test_handoff_pending_scan_finds_next_distinct_owner(self):
+        ring = [10, 20, 30, 40]
+        owners = ["a", "a", "b", "c"]
+        partners = handoff_pending_scan(ring, owners, [10, 30])
+        assert partners == {10: "b", 30: "c"}
+
+    def test_replay_retry_backlog_counts_resends(self):
+        table = [("node-001", "s1"), ("node-002", "s2")]
+        # each attempt resends one digest per session not owned by the peer
+        assert replay_retry_backlog(["node-001", "node-001"], table) == 2
+        assert replay_retry_backlog([], table) == 0
+
+
+class TestRetryAmplification:
+    def test_retry_backlog_doubles_then_caps_then_resets(self):
+        class Stub:
+            pass
+
+        stub = Stub()
+
+        class G:
+            pass
+
+        stub.gossiper = G()
+        stub.gossiper.unreachable_endpoints = {"node-001"}
+        stub.gossiper.endpoint_state_map = {
+            f"node-{i:03d}": None for i in range(4)}
+        stub._retry_attempts = {}
+        stub.cost_constants = CostConstants(k_retry=1.0)
+        costs = [Node._retry_backlog_cost(stub) for _ in range(6)]
+        # attempts double per round (1,2,4,8,16) and cap at 4x sessions=16;
+        # each attempt costs one digest per session (x4).
+        assert costs == [4.0, 8.0, 16.0, 32.0, 64.0, 64.0]
+        stub.gossiper.unreachable_endpoints = set()
+        assert Node._retry_backlog_cost(stub) == 0.0
+        assert stub._retry_attempts == {}
+
+
+class TestLatentManifest:
+    @pytest.mark.parametrize("bug_id", PORTED_FAULT_IDS)
+    def test_latent_at_small_scale(self, bug_id):
+        report = make_check(bug_id, LATENT_N).run_real()
+        assert symptom(bug_id, report) == 0
+
+    @pytest.mark.parametrize("bug_id", PORTED_FAULT_IDS)
+    def test_manifest_at_scale_check_scale_and_fix_removes_it(self, bug_id):
+        report = make_check(bug_id, MANIFEST_N).run_real()
+        assert symptom(bug_id, report) >= 50
+        fixed = make_check(f"{bug_id}-fixed", MANIFEST_N).run_real()
+        assert symptom(bug_id, fixed) == 0
+
+    def test_close_broadcast_sends_extra_messages(self):
+        buggy = make_check("zkclose", LATENT_N).run_real()
+        fixed = make_check("zkclose-fixed", LATENT_N).run_real()
+        assert buggy.messages_sent > fixed.messages_sent
+
+
+class TestLintDiscovery:
+    def test_corpus_functions_are_lint_candidates(self):
+        from repro.analysis.lint import run_lint
+
+        report = run_lint(targets=("repro.cassandra",))
+        found = {(f.function, f.detail) for f in report.raw_findings
+                 if f.rule == "scale-complexity"
+                 and f.module.endswith("ported_faults")}
+        assert ("apply_session_closes", "O(C·S)") in found
+        assert ("handoff_pending_scan", "O(H·T^2)") in found
+        assert ("replay_retry_backlog", "O(R·S)") in found
