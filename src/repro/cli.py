@@ -26,6 +26,10 @@ Commands map one-to-one onto the library's main entry points:
                     latency percentiles;
 * ``bench``      -- run the perf microbenchmark suite and record or gate
                     the committed ``BENCH_*.json`` baselines;
+* ``ci``         -- the continuous-scalability gate: sweep an N-ladder of
+                    gossip/workload scenarios, fit flap/throughput/memory
+                    scaling slopes, and fail on trend regressions versus
+                    the committed ``SCALING_BASELINE.json``;
 * ``study``      -- print the 38-bug study population table;
 * ``colocation`` -- print max-colocation factors and bottlenecks;
 * ``bugs``       -- list the reproducible bug configurations.
@@ -414,6 +418,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_ci(args: argparse.Namespace) -> int:
+    from .ci import (
+        DEFAULT_SCENARIOS,
+        CiConfig,
+        evaluate,
+        load_baseline,
+        run_gate,
+        save_baseline,
+        self_check,
+    )
+
+    scenarios = DEFAULT_SCENARIOS
+    if args.scenarios:
+        by_name = {scenario.name: scenario for scenario in DEFAULT_SCENARIOS}
+        unknown = [name for name in args.scenarios if name not in by_name]
+        if unknown:
+            print(f"unknown gate scenario(s): {', '.join(unknown)} "
+                  f"(expected among {sorted(by_name)})")
+            return 2
+        scenarios = tuple(by_name[name] for name in args.scenarios)
+    config = CiConfig(
+        scales=args.scales,
+        seed=args.seed,
+        scenarios=scenarios,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        tolerance=args.tolerance,
+    )
+
+    if args.self_check:
+        print(f"self-checking the gate on the calibrated ladder "
+              f"(cache: {args.cache_dir})...")
+        checks = self_check(config)
+        for check in checks:
+            status = "ok" if check["ok"] else "FAIL"
+            print(f"  self-check {status}: {check['check']} "
+                  f"-- {check['evidence']}")
+        return 0 if all(check["ok"] for check in checks) else 2
+
+    print(f"gating ladder {list(config.scales)} over "
+          f"{', '.join(s.name for s in scenarios)} "
+          f"(seed {config.seed}, cache: {args.cache_dir})...")
+    report = run_gate(config)
+    output = report.to_json() if args.format == "json" else report.to_text()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"{args.format} report written to {args.out}")
+    else:
+        print(output, end="")
+
+    if args.update:
+        save_baseline(args.baseline, report)
+        print(f"scaling baseline written to {args.baseline} "
+              f"(digest {report.digest()[:12]})")
+        return 0
+
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"gate FAIL: {exc}")
+            return 1
+        if baseline is None:
+            print(f"gate FAIL: no scaling baseline at {args.baseline}; "
+                  f"record one with --update")
+            return 1
+    verdict = evaluate(report, baseline=baseline,
+                       tolerance=config.tolerance)
+    print()
+    print(verdict.render())
+    return 0 if verdict.ok else 1
+
+
 def _cmd_bugs(args: argparse.Namespace) -> int:
     for bug in all_bugs():
         marker = "fixed" if bug.fixed else "BUGGY"
@@ -657,6 +736,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dir", default=".",
                        help="directory holding BENCH_*.json (default: cwd)")
     bench.set_defaults(func=_cmd_bench)
+
+    ci = sub.add_parser(
+        "ci",
+        help="the continuous-scalability gate: sweep an N-ladder, fit "
+             "scaling slopes, fail on trend regressions vs the committed "
+             "SCALING_BASELINE.json")
+    ci.add_argument("--scales", type=int, nargs="+", default=[32, 64, 128],
+                    help="the gate's N-ladder (ascending)")
+    ci.add_argument("--seed", type=int, default=42)
+    ci.add_argument("--scenarios", nargs="*", default=None,
+                    help="gate scenarios to run (default: all of them)")
+    ci.add_argument("--workers", type=int, default=1,
+                    help="sweep worker processes")
+    ci.add_argument("--cache-dir", default=".repro-ci-cache",
+                    help="persistent sweep cache; a re-gate with the same "
+                         "cache is served warm")
+    ci.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed log-log slope drift vs the baseline")
+    ci.add_argument("--baseline", default="SCALING_BASELINE.json",
+                    help="the committed trend contract")
+    ci.add_argument("--update", action="store_true",
+                    help="re-record the baseline from this run and exit")
+    ci.add_argument("--compare", action="store_true",
+                    help="gate against the committed baseline (exit 1 on "
+                         "a trend regression); without it only the "
+                         "intrinsic trend checks run")
+    ci.add_argument("--self-check", action="store_true",
+                    help="plant the known superlinear bug (c3831) and "
+                         "assert the gate trips on its slope while the "
+                         "fixed control passes; exit 2 on failure")
+    ci.add_argument("--format", default="text", choices=["text", "json"])
+    ci.add_argument("--out", default=None,
+                    help="write the report to this file instead of stdout")
+    ci.set_defaults(func=_cmd_ci)
 
     bugs = sub.add_parser("bugs", help="list reproducible bugs")
     bugs.set_defaults(func=_cmd_bugs)

@@ -1,84 +1,25 @@
-"""Per-candidate flap-curve fitting.
+"""Per-candidate flap-curve fitting (shared implementation).
 
-The sweep stage yields a symptom series over the N-ladder; this module
-classifies its growth shape.  Scalability bugs show one of two dynamic
-signatures (both are confirmations):
-
-* ``threshold`` -- zero through the ladder, then a jump at (or near) the
-  top scale: the classic *latent* bug the paper is about;
-* ``superlinear`` -- visible at multiple scales with a log-log growth
-  exponent well above linear.
-
-Everything else -- ``flat`` (no meaningful symptom anywhere) or
-``sublinear`` growth that a bigger cluster would dilute -- refutes the
-static suspicion.
+The fitting and classification machinery started life hunt-private but is
+now shared with the continuous-scalability CI gate; it lives in
+:mod:`repro.core.curves`.  This module re-exports the hunt-facing names so
+existing imports (``repro.hunt.curves.fit_flap_curve``) keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from ..core.curves import (  # noqa: F401  (re-exported API)
+    CONFIRMING,
+    SUPERLINEAR_EXPONENT,
+    CurveFit,
+    fit_flap_curve,
+    fit_loglog_slope,
+)
 
-import numpy as np
-
-#: Classifications that confirm a candidate.
-CONFIRMING = ("threshold", "superlinear")
-
-#: Log-log growth exponent above which growth counts as superlinear.
-SUPERLINEAR_EXPONENT = 1.2
-
-
-@dataclass
-class CurveFit:
-    """Fitted growth shape of one symptom-vs-scale series."""
-
-    scales: List[int]
-    values: List[float]
-    classification: str
-    #: Log-log growth exponent over the nonzero tail (None when fewer than
-    #: two nonzero points exist -- nothing to fit a slope through).
-    exponent: Optional[float] = None
-    extra: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def confirms(self) -> bool:
-        """Does this shape support the static candidate?"""
-        return self.classification in CONFIRMING
-
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-ready form (exponent rounded: fit noise must not churn
-        byte-identical report comparisons across numpy versions)."""
-        return {
-            "scales": list(self.scales),
-            "values": [float(v) for v in self.values],
-            "classification": self.classification,
-            "exponent": (None if self.exponent is None
-                         else round(float(self.exponent), 4)),
-        }
-
-
-def fit_flap_curve(scales: Sequence[int], values: Sequence[float],
-                   min_symptom: float = 20.0) -> CurveFit:
-    """Classify a symptom series measured over an ascending N-ladder."""
-    if len(scales) != len(values) or not scales:
-        raise ValueError("need matching, non-empty series")
-    if list(scales) != sorted(set(scales)):
-        raise ValueError("scales must be strictly ascending")
-    vals = [float(v) for v in values]
-    if max(vals) < min_symptom:
-        return CurveFit(list(scales), vals, "flat")
-    nonzero = [(s, v) for s, v in zip(scales, vals) if v > 0]
-    if len(nonzero) < 2:
-        # Latent through the ladder, manifest at one scale: the jump is the
-        # signature; there is no slope to fit.
-        return CurveFit(list(scales), vals, "threshold")
-    xs = np.log([s for s, _ in nonzero])
-    ys = np.log([v for _, v in nonzero])
-    exponent = float(np.polyfit(xs, ys, 1)[0])
-    if exponent >= SUPERLINEAR_EXPONENT:
-        classification = "superlinear"
-    elif exponent >= 0.8:
-        classification = "linear"
-    else:
-        classification = "sublinear"
-    return CurveFit(list(scales), vals, classification, exponent=exponent)
+__all__ = [
+    "CONFIRMING",
+    "SUPERLINEAR_EXPONENT",
+    "CurveFit",
+    "fit_flap_curve",
+    "fit_loglog_slope",
+]

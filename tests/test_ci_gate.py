@@ -1,0 +1,324 @@
+"""Tests for the continuous-scalability gate (``repro.ci`` / ``repro ci``).
+
+Fast tier-1 coverage drives the gate logic on synthetic ladders (no
+simulation cost): report serialization and digests, baseline round trips
+and corruption handling, intrinsic/drift/escalation verdicts, and the
+identity checks that refuse apples-to-oranges comparisons.  A small real
+ladder (N=8/16, one scenario) pins the determinism contract -- cold
+cache, warm cache, and a fresh interpreter must all produce byte-identical
+``repro-scaling-report-v1`` payloads and digests.  The full default-ladder
+run and the planted-bug self-check are ``ci_gate``-marked and belong to
+the CI ``scaling`` job, not to tier-1.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.ci import (
+    DEFAULT_SCENARIOS,
+    CiConfig,
+    CiScenario,
+    METRICS,
+    ScalingReport,
+    evaluate,
+    fit_scenario,
+    load_baseline,
+    run_gate,
+    save_baseline,
+    self_check,
+)
+from repro.cli import main
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+GOSSIP = CiScenario(name="gossip")
+
+
+def fake_report(flaps=0, delivered=10_000, duration=100.0, mem=1_000_000):
+    """A canonical per-point report dict with just the gate's fields."""
+    return {"flaps": flaps, "messages_delivered": delivered,
+            "duration": duration, "memory_peak_bytes": mem}
+
+
+def synthetic(scales=(32, 64, 128), flaps=(0, 0, 0), mem_slope=1.0,
+              msg_slope=1.0, name="gossip", scenario=None, seed=42):
+    """A ScalingReport built from synthetic ladder data (no simulation)."""
+    scenario = scenario or CiScenario(name=name)
+    reports = {
+        n: fake_report(flaps=flaps[i],
+                       delivered=int(100 * n ** msg_slope),
+                       duration=100.0,
+                       mem=int(1e7 * n ** mem_slope))
+        for i, n in enumerate(scales)
+    }
+    report = ScalingReport(scales=list(scales), seed=seed)
+    report.scenarios[scenario.name] = fit_scenario(scenario, reports, scales)
+    return report
+
+
+# -- report schema and determinism of serialization ----------------------------
+
+
+class TestScalingReport:
+    def test_schema_and_digest_round_trip(self):
+        report = synthetic(flaps=(0, 20, 400))
+        payload = report.to_json_dict()
+        assert payload["format"] == "repro-scaling-report-v1"
+        assert set(payload["scenarios"]["gossip"]["metrics"]) == set(METRICS)
+        rebuilt = ScalingReport.from_json_dict(payload)
+        assert rebuilt.to_json() == report.to_json()
+        assert rebuilt.digest() == report.digest()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            ScalingReport.from_json_dict({"format": "scaling-v999"})
+
+    def test_digest_is_sensitive_to_values(self):
+        assert (synthetic(flaps=(0, 0, 0)).digest()
+                != synthetic(flaps=(0, 0, 500)).digest())
+
+    def test_text_rendering_names_every_metric(self):
+        text = synthetic().to_text()
+        for metric in METRICS:
+            assert metric in text
+
+    def test_json_text_ends_with_newline_and_parses(self):
+        text = synthetic().to_json()
+        assert text.endswith("\n")
+        assert json.loads(text)["format"] == "repro-scaling-report-v1"
+
+
+class TestBaselineFile:
+    def test_save_then_load_preserves_the_digest(self, tmp_path):
+        report = synthetic()
+        path = tmp_path / "SCALING_BASELINE.json"
+        save_baseline(path, report)
+        loaded = load_baseline(path)
+        assert loaded is not None
+        assert loaded.digest() == report.digest()
+        assert loaded.to_json() == report.to_json()
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") is None
+
+    def test_unparseable_json_raises(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_baseline(path)
+
+    def test_missing_report_payload_raises(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"digest": "abc"}))
+        with pytest.raises(ValueError, match="missing 'report'"):
+            load_baseline(path)
+
+    def test_hand_edited_baseline_fails_the_digest_check(self, tmp_path):
+        path = tmp_path / "edited.json"
+        save_baseline(path, synthetic())
+        payload = json.loads(path.read_text())
+        payload["report"]["seed"] = 43  # the hand edit
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="digest"):
+            load_baseline(path)
+
+
+# -- gate verdicts over synthetic ladders --------------------------------------
+
+
+class TestEvaluate:
+    def test_healthy_report_passes_without_a_baseline(self):
+        verdict = evaluate(synthetic())
+        assert verdict.ok
+        assert "PASS" in verdict.render()
+
+    def test_confirming_flap_shape_fails_intrinsically(self):
+        # Latent through the ladder, explosive at the top: the paper's bug.
+        verdict = evaluate(synthetic(flaps=(0, 0, 400)))
+        assert not verdict.ok
+        assert any("no confirming growth shape" in c["check"]
+                   and not c["ok"] for c in verdict.checks)
+
+    def test_identical_reports_pass_the_drift_gate(self):
+        verdict = evaluate(synthetic(), baseline=synthetic())
+        assert verdict.ok
+
+    def test_slope_drift_past_tolerance_fails(self):
+        # Message volume bends from N^1.0 to N^1.4: every point might still
+        # pass a 15% point gate, but the trend gate sees the bent curve.
+        verdict = evaluate(synthetic(msg_slope=1.4),
+                           baseline=synthetic(msg_slope=1.0),
+                           tolerance=0.25)
+        assert not verdict.ok
+        failing = [c for c in verdict.checks if not c["ok"]]
+        assert any("events_per_vsec" in c["check"] for c in failing)
+
+    def test_slope_drift_within_tolerance_passes(self):
+        verdict = evaluate(synthetic(msg_slope=1.1),
+                           baseline=synthetic(msg_slope=1.0),
+                           tolerance=0.25)
+        assert verdict.ok
+
+    def test_growth_class_escalation_fails_even_inside_tolerance(self):
+        # 1.15 -> 1.25 is only 0.1 of drift but crosses into superlinear.
+        verdict = evaluate(synthetic(mem_slope=1.25),
+                           baseline=synthetic(mem_slope=1.15),
+                           tolerance=0.25)
+        assert not verdict.ok
+        failing = [c for c in verdict.checks if not c["ok"]]
+        assert any("has not escalated" in c["check"] for c in failing)
+
+    def test_growth_class_relaxation_is_not_a_failure(self):
+        verdict = evaluate(synthetic(mem_slope=0.9),
+                           baseline=synthetic(mem_slope=1.25),
+                           tolerance=1.0)
+        assert verdict.ok
+
+    def test_ladder_mismatch_refuses_comparison(self):
+        verdict = evaluate(synthetic(scales=(32, 64, 128)),
+                           baseline=synthetic(scales=(16, 32, 64),
+                                              flaps=(0, 0, 0)))
+        assert not verdict.ok
+        assert any("re-record with --update" in c["evidence"]
+                   for c in verdict.checks if not c["ok"])
+
+    def test_seed_mismatch_refuses_comparison(self):
+        verdict = evaluate(synthetic(seed=42), baseline=synthetic(seed=7))
+        assert not verdict.ok
+
+    def test_missing_scenario_fails(self):
+        current = synthetic(name="gossip")
+        baseline = synthetic(name="gossip")
+        baseline.scenarios["workload"] = synthetic(
+            scenario=CiScenario(name="workload", workload="steady")
+        ).scenarios["workload"]
+        verdict = evaluate(current, baseline=baseline)
+        assert not verdict.ok
+        assert any("present in both reports" in c["check"]
+                   for c in verdict.checks if not c["ok"])
+
+    def test_scenario_identity_change_refuses_comparison(self):
+        current = synthetic(scenario=CiScenario(name="gossip",
+                                                bug_id="c3881"))
+        verdict = evaluate(current, baseline=synthetic())
+        assert not verdict.ok
+        assert any("identity" in c["check"]
+                   for c in verdict.checks if not c["ok"])
+
+
+# -- the real thing, small: determinism of the emitted report ------------------
+
+
+def _small_config(cache_dir):
+    return CiConfig(scales=[8, 16], cache_dir=str(cache_dir),
+                    scenarios=(GOSSIP,))
+
+
+SUBPROCESS_SCRIPT = """
+import sys
+from repro.ci import CiConfig, CiScenario, run_gate
+config = CiConfig(scales=[8, 16], cache_dir=sys.argv[1],
+                  scenarios=(CiScenario(name="gossip"),))
+report = run_gate(config)
+sys.stdout.write(report.to_json())
+sys.stdout.write(report.digest() + "\\n")
+"""
+
+
+class TestReportDeterminism:
+    def test_cold_and_warm_cache_reports_are_byte_identical(self, tmp_path):
+        config = _small_config(tmp_path / "cache")
+        cold = run_gate(config)
+        warm = run_gate(config)  # every point served from the cache
+        assert warm.to_json() == cold.to_json()
+        assert warm.digest() == cold.digest()
+        # A separate cold run in a fresh cache agrees too.
+        other = run_gate(_small_config(tmp_path / "other-cache"))
+        assert other.to_json() == cold.to_json()
+
+    def test_subprocess_report_is_byte_identical(self, tmp_path):
+        config = _small_config(tmp_path / "cache")
+        local = run_gate(config)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", SUBPROCESS_SCRIPT,
+             str(tmp_path / "sub-cache")],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        *json_lines, digest = proc.stdout.splitlines()
+        assert "\n".join(json_lines) + "\n" == local.to_json()
+        assert digest == local.digest()
+
+
+# -- the CLI -------------------------------------------------------------------
+
+
+class TestCli:
+    def test_update_then_compare_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "SCALING_BASELINE.json"
+        cache = str(tmp_path / "cache")
+        argv = ["ci", "--scales", "8", "16", "--scenarios", "gossip",
+                "--cache-dir", cache, "--baseline", str(baseline)]
+        assert main(argv + ["--update"]) == 0
+        assert baseline.exists()
+        assert main(argv + ["--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline written" in out
+        assert "gate verdict: PASS" in out
+
+    def test_compare_without_a_baseline_fails(self, tmp_path, capsys):
+        assert main(["ci", "--scales", "8", "16", "--scenarios", "gossip",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--baseline", str(tmp_path / "missing.json"),
+                     "--compare"]) == 1
+        assert "no scaling baseline" in capsys.readouterr().out
+
+    def test_compare_with_corrupt_baseline_fails(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json")
+        assert main(["ci", "--scales", "8", "16", "--scenarios", "gossip",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--baseline", str(corrupt), "--compare"]) == 1
+        assert "gate FAIL" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["ci", "--scenarios", "nope"]) == 2
+        assert "unknown gate scenario" in capsys.readouterr().out
+
+    def test_json_report_to_file(self, tmp_path):
+        out = tmp_path / "report.json"
+        assert main(["ci", "--scales", "8", "16", "--scenarios", "gossip",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--format", "json", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-scaling-report-v1"
+        assert payload["scales"] == [8, 16]
+
+
+# -- the full gate: CI's scaling job (excluded from tier-1) --------------------
+
+
+@pytest.mark.ci_gate
+class TestFullGate:
+    def test_self_check_trips_on_the_planted_bug(self, tmp_path):
+        checks = self_check(CiConfig(cache_dir=str(tmp_path / "cache")))
+        assert all(check["ok"] for check in checks), checks
+        assert any("c3831 trips" in check["check"] for check in checks)
+
+    def test_default_ladder_matches_the_committed_baseline(self, tmp_path):
+        """The committed SCALING_BASELINE.json passes on an unmodified tree."""
+        root = Path(__file__).resolve().parents[1]
+        cache = os.environ.get("REPRO_CI_CACHE",
+                               str(tmp_path / "cache"))
+        config = CiConfig(cache_dir=cache, scenarios=DEFAULT_SCENARIOS)
+        report = run_gate(config)
+        baseline = load_baseline(root / "SCALING_BASELINE.json")
+        assert baseline is not None
+        verdict = evaluate(report, baseline=baseline)
+        assert verdict.ok, verdict.render()

@@ -64,7 +64,40 @@ class TestBenchResult:
         assert fast.normalized_rate() == pytest.approx(slow.normalized_rate())
 
 
+class TestPayloadEdgeCases:
+    def test_payload_round_trip_preserves_wall_all(self):
+        original = result()
+        original.extra["wall_all"] = [1.25, 0.75, 1.0]
+        rebuilt = BenchResult.from_payload(original.to_payload())
+        assert rebuilt == original
+        assert rebuilt.extra["wall_all"] == [1.25, 0.75, 1.0]
+
+    def test_load_baseline_corrupt_file_raises(self, tmp_path):
+        baseline_path(tmp_path, "gossip_n256").write_text("{not json")
+        with pytest.raises(ValueError):
+            load_baseline(tmp_path, "gossip_n256")
+
+
 class TestCompare:
+    def test_exactly_at_the_tolerance_boundary_passes(self):
+        # The gate is inclusive: ratio == 1 - tolerance is still ok.
+        # (0.5 is exact in binary, so this probes the comparison, not FP.)
+        verdict = compare(result(rate=5_000.0), result(rate=10_000.0),
+                          tolerance=0.5)
+        assert verdict.ok
+        assert verdict.ratio == pytest.approx(0.5)
+
+    def test_just_below_the_tolerance_boundary_fails(self):
+        verdict = compare(result(rate=4_999.0), result(rate=10_000.0),
+                          tolerance=0.5)
+        assert not verdict.ok
+
+    def test_zero_rate_baseline_cannot_regress(self):
+        verdict = compare(result(rate=5_000.0), result(rate=0.0),
+                          tolerance=0.15)
+        assert verdict.ok
+        assert verdict.ratio == float("inf")
+
     def test_equal_machines_pass_within_tolerance(self):
         verdict = compare(result(rate=9_000.0), result(rate=10_000.0),
                           tolerance=0.15)
@@ -97,6 +130,14 @@ class TestRunTimed:
     def test_repeats_must_be_positive(self):
         with pytest.raises(ValueError):
             run_timed(lambda: (0.1, 10), "x", repeats=0)
+
+    def test_single_repeat_is_its_own_median(self):
+        bench = run_timed(lambda: (2.0, 100), "x", repeats=1,
+                          calibration_seconds=0.05)
+        assert bench.repeats == 1
+        assert bench.wall_seconds == 2.0
+        assert bench.events_per_sec == pytest.approx(50.0)
+        assert bench.extra["wall_all"] == [2.0]
 
     def test_median_of_repeats_wins(self):
         walls = iter([1.0, 10.0, 2.0])
