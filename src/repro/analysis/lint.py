@@ -26,6 +26,7 @@ from .effects import check_complexity, check_determinism, check_pil_safety
 from .findings import Finding, sort_findings
 from .interproc import Program
 from .locks import check_locks
+from .shared import check_dead_annotations, check_shared_state
 
 #: Default lint targets: the two modeled systems.
 DEFAULT_TARGETS = ("repro.cassandra", "repro.hdfs")
@@ -146,6 +147,8 @@ def run_rules(program: Program) -> "tuple[List[Finding], List[Dict[str, object]]
     findings.extend(check_pil_safety(program))
     findings.extend(check_determinism(program))
     findings.extend(check_locks(program))
+    findings.extend(check_shared_state(program))
+    findings.extend(check_dead_annotations(program))
     verdicts, drift_findings = check_drift(program)
     findings.extend(drift_findings)
     return sort_findings(findings), verdicts

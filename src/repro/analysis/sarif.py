@@ -23,14 +23,24 @@ _RULE_DESCRIPTIONS = {
     "lock-held-scale-work": "Scale-dependent work while a declared lock is held",
     "unlocked-access": "Protected structure accessed without its owning lock",
     "complexity-drift": "Inferred complexity disagrees with the declared cost class",
+    "undeclared-shared-state": ("Mutable structure reachable from multiple"
+                                " processes with no declared or inferred lock"),
+    "dead-lock-annotation": ("lock_protects declaration never exercised:"
+                             " structure not accessed under the named lock"),
 }
 
 _LEVELS = {"error": "error", "warning": "warning", "note": "note"}
 
 
-def to_sarif_dict(report: LintReport) -> Dict[str, object]:
-    """SARIF 2.1.0 document for ``report`` as a plain dict."""
-    used_rules = sorted({f.rule for f in report.findings})
+def findings_to_sarif_dict(findings, driver: str = "repro-lint",
+                           fingerprint_key: str = "reproLint/v1"
+                           ) -> Dict[str, object]:
+    """SARIF 2.1.0 document for a findings list as a plain dict.
+
+    Shared by ``repro lint`` and ``repro sanitize`` (which reports the
+    static shared-state findings under its own driver name).
+    """
+    used_rules = sorted({f.rule for f in findings})
     rules: List[Dict[str, object]] = [{
         "id": rule,
         "shortDescription": {
@@ -39,7 +49,7 @@ def to_sarif_dict(report: LintReport) -> Dict[str, object]:
     } for rule in used_rules]
     rule_index = {rule: i for i, rule in enumerate(used_rules)}
     results: List[Dict[str, object]] = []
-    for finding in report.findings:
+    for finding in findings:
         uri = "src/" + finding.module.replace(".", "/") + ".py"
         results.append({
             "ruleId": finding.rule,
@@ -47,7 +57,7 @@ def to_sarif_dict(report: LintReport) -> Dict[str, object]:
             "level": _LEVELS.get(finding.severity, "warning"),
             "message": {"text": finding.message},
             "partialFingerprints": {
-                "reproLint/v1": finding.fingerprint,
+                fingerprint_key: finding.fingerprint,
             },
             "locations": [{
                 "physicalLocation": {
@@ -66,13 +76,18 @@ def to_sarif_dict(report: LintReport) -> Dict[str, object]:
         "runs": [{
             "tool": {
                 "driver": {
-                    "name": "repro-lint",
+                    "name": driver,
                     "rules": rules,
                 },
             },
             "results": results,
         }],
     }
+
+
+def to_sarif_dict(report: LintReport) -> Dict[str, object]:
+    """SARIF 2.1.0 document for ``report`` as a plain dict."""
+    return findings_to_sarif_dict(report.findings)
 
 
 def to_sarif(report: LintReport) -> str:

@@ -115,11 +115,15 @@ class Cluster:
         executor: Optional[CalcExecutor] = None,
         order_enforcer: Optional[OrderEnforcer] = None,
         tracer=None,
+        race_tracker=None,
     ) -> None:
         self.config = config
         self.sim = Simulator(seed=config.seed, scheduler=config.scheduler)
         self.sim.tracer = tracer
         self.tracer = tracer
+        self.race_tracker = race_tracker
+        if race_tracker is not None:
+            race_tracker.attach(self.sim)
         self.network = Network(self.sim, latency=config.latency,
                                enforcer=order_enforcer)
         self.flaps = FlapCounter()
@@ -380,4 +384,6 @@ class Cluster:
             else:
                 report.extra["protocol_time"] = self.sim.now - self.op_started_at
                 report.extra["converged"] = 0.0
+        if self.race_tracker is not None:
+            report.extra.update(self.race_tracker.metrics())
         return report

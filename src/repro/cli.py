@@ -239,6 +239,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from .sanitize import SanitizeConfig, run_sanitize
+
+    config = SanitizeConfig(
+        targets=tuple(args.targets),
+        scales=tuple(args.scales),
+        seed=args.seed,
+        bug_id=args.bug,
+        cache_dir=args.cache_dir,
+        static_only=args.static_only,
+        with_self_check=args.self_check,
+    )
+    report = run_sanitize(config)
+    if args.format == "json":
+        output = report.to_json()
+    elif args.format == "sarif":
+        output = report.to_sarif()
+    else:
+        output = report.to_text()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"{args.format} report written to {args.out}")
+    else:
+        print(output, end="")
+    if args.self_check and not report.ok:
+        return 2
+    return 0
+
+
 def _cmd_hunt(args: argparse.Namespace) -> int:
     from .hunt import HuntConfig, run_hunt
 
@@ -607,6 +637,39 @@ def build_parser() -> argparse.ArgumentParser:
                            "bug paths (C3831/C3881/C5456/C6127, HDFS O(B)); "
                            "exit 2 on failure")
     lint.set_defaults(func=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="hybrid race & atomicity sanitizer: static shared-state "
+             "harvest plus a vector-clock happens-before sweep over an "
+             "N-ladder")
+    sanitize.add_argument("--targets", nargs="+",
+                          default=["repro.cassandra", "repro.hdfs",
+                                   "repro.workload"],
+                          help="packages the static harvest analyzes")
+    sanitize.add_argument("--scales", type=int, nargs="*",
+                          default=[8, 16, 32, 64],
+                          help="N-ladder for the instrumented dynamic runs")
+    sanitize.add_argument("--seed", type=int, default=42)
+    sanitize.add_argument("--bug", default="c3831",
+                          help="bug id whose scenario drives the ladder")
+    sanitize.add_argument("--cache-dir", default=None,
+                          help="persistent sweep cache; a warm report is "
+                               "byte-identical to a cold one")
+    sanitize.add_argument("--static-only", action="store_true",
+                          help="skip the dynamic ladder (harvest + rules "
+                               "only)")
+    sanitize.add_argument("--format", default="text",
+                          choices=["text", "json", "sarif"])
+    sanitize.add_argument("--out", default=None,
+                          help="write the report to this file instead of "
+                               "stdout")
+    sanitize.add_argument("--self-check", action="store_true",
+                          help="assert both planted races (torn hint-store "
+                               "critical section, undeclared ring mutation) "
+                               "are rediscovered and their locked controls "
+                               "stay clean; exit 2 on failure")
+    sanitize.set_defaults(func=_cmd_sanitize)
 
     hunt = sub.add_parser(
         "hunt",

@@ -23,8 +23,11 @@ from ..analysis.findings import SEVERITY_ORDER, Finding
 from ..analysis.lint import run_lint
 from .probes import Probe, probe_for
 
-#: Lint rules whose findings are hunt candidates.
-CANDIDATE_RULES = ("scale-complexity", "lock-held-scale-work")
+#: Lint rules whose findings are hunt candidates.  Undeclared-shared-state
+#: sites are first-class candidates since the sanitizer (PR 9): their
+#: dynamic evidence is the race-window curve rather than a flap curve.
+CANDIDATE_RULES = ("scale-complexity", "lock-held-scale-work",
+                   "undeclared-shared-state")
 
 
 @dataclass

@@ -128,6 +128,21 @@ class ClusterCollector:
         reg.gauge("fd.max_phi").set(
             max((g.fd.stats.max_phi_seen for g in gossipers), default=0.0))
 
+    def _mirror_races(self) -> None:
+        """Sanitizer counters (present only when a RaceTracker is attached)."""
+        tracker = getattr(getattr(self.cluster, "sim", None),
+                          "race_tracker", None)
+        if tracker is None:
+            return
+        reg = self.registry
+        reg.counter("race.pairs").set_total(tracker.race_pairs)
+        reg.counter("race.accesses").set_total(tracker.accesses)
+        reg.gauge("race.sites").set(len(tracker.site_races))
+        reg.counter("race.forced_releases").set_total(
+            len(tracker.forced_release_records))
+        for kind, count in sorted(tracker.races_by_kind.items()):
+            reg.counter("race.by_kind", kind=kind).set_total(count)
+
     def _mirror_memo(self) -> None:
         executor = getattr(self.cluster, "executor", None)
         db = getattr(executor, "db", None)
@@ -174,6 +189,7 @@ class ClusterCollector:
         self._mirror_scheduler()
         self._mirror_flaps()
         self._mirror_memo()
+        self._mirror_races()
         snapshot = self.registry.snapshot(now=cluster.sim.now)
         self.snapshots.append(snapshot)
         return snapshot

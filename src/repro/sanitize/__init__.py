@@ -1,0 +1,49 @@
+"""Hybrid race & atomicity sanitizer.
+
+Fuses the static shared-state harvest (:mod:`repro.analysis.shared`) with
+a dynamic vector-clock happens-before layer wired into the simulation
+kernel (:mod:`repro.sanitize.tracker`), so order-violation and atomicity
+races that only the *runtime* can produce -- an interrupted holder
+force-releasing a lock mid-critical-section, two stages mutating an
+undeclared shared structure -- become countable, sweepable findings.
+
+Pipeline (the ``repro sanitize`` CLI):
+
+1. the static pass classifies every mutable structure reachable from
+   more than one kernel process as declared-guarded / guard-inferred /
+   undeclared-shared;
+2. the statically-shared sites are auto-instrumented on a live cluster
+   (:mod:`repro.sanitize.instrument`) so only they pay tracking cost;
+3. runs across an N-ladder (cached through the sweep engine) export the
+   race-window metric -- unordered conflicting access pairs per run --
+   which the shared curve fitter classifies flat / linear / superlinear.
+"""
+
+from .tracker import RaceTracker
+from .vc import concurrent, join, leq, tick
+from .instrument import (
+    TrackedMap,
+    TrackedSeq,
+    TrackedSet,
+    instrument_cluster,
+)
+from .sweep import SanitizeConfig, run_sanitize
+from .report import SANITIZE_REPORT_FORMAT, SanitizeReport
+from .selfcheck import self_check
+
+__all__ = [
+    "RaceTracker",
+    "concurrent",
+    "join",
+    "leq",
+    "tick",
+    "TrackedMap",
+    "TrackedSeq",
+    "TrackedSet",
+    "instrument_cluster",
+    "SanitizeConfig",
+    "run_sanitize",
+    "SANITIZE_REPORT_FORMAT",
+    "SanitizeReport",
+    "self_check",
+]

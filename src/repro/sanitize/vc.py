@@ -1,0 +1,62 @@
+"""Vector-clock primitives over plain dicts.
+
+A vector clock is a ``{pid: counter}`` dict mapping small integer process
+ids (interned by the tracker) to event counters.  Missing entries are
+zero, so the empty dict is the bottom element.  Plain dicts -- not a
+class -- because the tracker copies one per scheduled event on sanitized
+runs and ``dict.copy`` is the cheapest snapshot Python offers.
+
+The algebra (exercised law-by-law in ``tests/test_sanitize_vc.py``):
+
+* ``join`` is the pointwise max -- commutative, associative, idempotent,
+  with ``{}`` as identity;
+* ``leq`` is the pointwise order -- a partial order whose incomparable
+  pairs are exactly the *concurrent* (racy) ones;
+* ``tick`` advances one component -- strictly increasing in ``leq``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+VC = Dict[int, int]
+
+
+def join(a: VC, b: VC) -> VC:
+    """Pointwise maximum of two clocks (a fresh dict; inputs untouched)."""
+    if not a:
+        return dict(b)
+    if not b:
+        return dict(a)
+    out = dict(a)
+    for pid, count in b.items():
+        if out.get(pid, 0) < count:
+            out[pid] = count
+    return out
+
+
+def join_into(target: VC, other: VC) -> None:
+    """In-place pointwise maximum (the tracker's hot-path form)."""
+    for pid, count in other.items():
+        if target.get(pid, 0) < count:
+            target[pid] = count
+
+
+def leq(a: VC, b: VC) -> bool:
+    """True when ``a`` happens-before-or-equals ``b`` (pointwise <=)."""
+    for pid, count in a.items():
+        if count > b.get(pid, 0):
+            return False
+    return True
+
+
+def concurrent(a: VC, b: VC) -> bool:
+    """True when neither clock is ordered before the other (a race window)."""
+    return not leq(a, b) and not leq(b, a)
+
+
+def tick(vc: VC, pid: int) -> VC:
+    """Advance ``pid``'s component by one (returns a fresh dict)."""
+    out = dict(vc)
+    out[pid] = out.get(pid, 0) + 1
+    return out

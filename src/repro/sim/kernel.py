@@ -127,6 +127,10 @@ class Process:
         #: build per process instead of one per sleep).
         self._timeout_tag = f"timeout:{name}"
         self.finished = False
+        #: Reentrancy guard: ``interrupt()`` runs the generator's
+        #: ``finally`` blocks, which may recursively interrupt (a node's
+        #: ``stop()`` called from cleanup); the nested call must no-op.
+        self._interrupting = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.pending_event: Optional[Event] = None
@@ -148,6 +152,11 @@ class Process:
         tracer = self.sim.tracer
         if tracer is not None and tracer.enabled:
             tracer.point("resume", self.name)
+        race = self.sim.race_tracker
+        if race is not None:
+            # Join the ambient clock (whoever caused this resume) and any
+            # staged channel-item clock into this process's vector clock.
+            race.on_resume(self)
         try:
             effect = self.gen.send(value)
         except StopIteration as stop:
@@ -174,14 +183,18 @@ class Process:
         its generator's ``finally`` blocks ran is force-released so waiters
         do not deadlock.
         """
-        if self.finished:
+        if self.finished or self._interrupting:
             return
+        self._interrupting = True
         if self.pending_event is not None:
             self.pending_event.cancel()
             self.pending_event = None
         if self.wait_target is not None:
             self.wait_target._discard_waiter(self)
             self.wait_target = None
+        race = self.sim.race_tracker
+        if race is not None:
+            race.on_interrupt(self)
         # Close before force-releasing: a well-behaved finally block may
         # release() its own locks, which removes them from held_locks.
         self.gen.close()
@@ -235,15 +248,32 @@ class Channel:
             return
         self._items.append(item)
         self._enqueue_times.append(self.sim.now)
+        race = self.sim.race_tracker
+        if race is not None:
+            # A buffered item carries the putter's clock until some getter
+            # pops it (possibly much later, in a different causal context).
+            race.on_channel_buffer(self)
         self.max_depth = max(self.max_depth, len(self._items))
 
-    def _hand_off(self, getter: Process, item: Any) -> None:
+    def _hand_off(self, getter: Process, item: Any, vc: Any = None) -> None:
         """Schedule delivery; if the getter dies before the event fires,
-        the item is re-delivered instead of vanishing with it."""
+        the item is re-delivered instead of vanishing with it.
+
+        ``vc`` is the put-time vector clock of a *buffered* item (direct
+        put->getter hand-offs inherit the putter's clock from the event
+        itself); it rides along so the eventual consumer joins it.
+        """
         def fire() -> None:
+            race = self.sim.race_tracker
             if getter.finished:
-                self._deliver_or_buffer(item)
+                if race is not None and vc is not None:
+                    with race.ambient_as(vc):
+                        self._deliver_or_buffer(item)
+                else:
+                    self._deliver_or_buffer(item)
             else:
+                if race is not None and vc is not None:
+                    race.stage_join(getter, vc)
                 getter.resume(item)
         self.sim.schedule(0.0, fire, tag=self._tag)
 
@@ -257,7 +287,9 @@ class Channel:
             if tracer is not None and tracer.enabled and waited > 0.0:
                 tracer.span(self.sim.now - waited, self.sim.now, "queue",
                             self.name, node=process.name)
-            self._hand_off(process, item)
+            race = self.sim.race_tracker
+            vc = race.on_channel_pop(self) if race is not None else None
+            self._hand_off(process, item, vc)
         else:
             process.wait_target = self
             self._getters.append(process)
@@ -297,6 +329,12 @@ class Lock:
         #: Holders interrupted mid-critical-section (fault injection);
         #: each one force-released the lock so waiters could proceed.
         self.forced_releases = 0
+        #: True once the current holder actually resumed inside its
+        #: critical section.  A process interrupted in the grant window
+        #: (lock assigned, resume event not yet fired) never entered, so
+        #: its hand-back is clean -- not a torn critical section -- and
+        #: must not count as a forced release.
+        self._entered = False
         self._wait_started: dict = {}
 
     @property
@@ -324,7 +362,21 @@ class Lock:
         if tracer is not None and tracer.enabled and waited > 0.0:
             tracer.span(self.sim.now - waited, self.sim.now, "lock-wait",
                         self.name, node=process.name)
-        self.sim.schedule(0.0, lambda: process.resume(self))
+        self._entered = False
+        # The grant resume is this process's pending event (like a
+        # Timeout's), so interrupting in the grant window cancels it
+        # instead of leaving a dead event to fire on a finished process.
+        process.pending_event = self.sim.schedule(
+            0.0, lambda: self._enter(process))
+
+    def _enter(self, process: Process) -> None:
+        """Fire a granted acquire: the holder enters its critical section."""
+        if self._holder is process:
+            self._entered = True
+            race = self.sim.race_tracker
+            if race is not None:
+                race.on_lock_enter(self, process)
+        process.resume(self)
 
     def _discard_waiter(self, process: Process) -> None:
         """Purge an interrupted process from the wait queue and stats."""
@@ -360,6 +412,12 @@ class Lock:
         """Release the lock; the longest-waiting process acquires next."""
         if self._holder is None:
             raise SimError(f"release of unheld lock {self.name!r}")
+        race = self.sim.race_tracker
+        if race is not None:
+            # A *clean* release carries the holder's clock forward through
+            # the lock, so even an uncontended next acquire is ordered
+            # after this critical section (forced releases do not).
+            race.on_lock_release(self)
         self._record_hold(self._holder)
         self._grant_next()
 
@@ -373,7 +431,15 @@ class Lock:
         """
         if self._holder is not process:
             return
-        self.forced_releases += 1
+        if self._entered:
+            self.forced_releases += 1
+            race = self.sim.race_tracker
+            if race is not None:
+                # Deliberately *no* happens-before edge here: the torn
+                # critical section leaves the next holder causally
+                # unordered with the victim's accesses, which is exactly
+                # the atomicity violation the sanitizer reports.
+                race.on_forced_release(self.name, process.name, self.sim.now)
         self._record_hold(process)
         self._grant_next()
 
@@ -412,6 +478,13 @@ class Simulator:
         #: site guards on ``tracer is not None and tracer.enabled``, so an
         #: untraced run pays one attribute load per site and nothing else.
         self.tracer: Optional[Any] = None
+        #: Optional :class:`repro.sanitize.tracker.RaceTracker`.  Same
+        #: zero-cost contract as ``tracer``: every kernel hook guards on
+        #: ``race_tracker is not None``, so an unsanitized run pays one
+        #: attribute load per site.  Attach before the first event fires
+        #: and leave attached for the whole run (the channel-buffer VC
+        #: bookkeeping assumes symmetric enable/disable).
+        self.race_tracker: Optional[Any] = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -425,6 +498,14 @@ class Simulator:
         """Run ``callback`` after ``delay`` virtual seconds."""
         if delay < 0:
             raise SimError(f"cannot schedule into the past (delay={delay})")
+        tracker = self.race_tracker
+        if tracker is not None:
+            # Capture the scheduler's causal context (the ambient vector
+            # clock) into the event, so firing it restores the context of
+            # whoever scheduled it.  This one hook derives the spawn,
+            # timeout, network-delivery, lock-grant and join
+            # happens-before edges without touching any of those sites.
+            callback = tracker.bind(callback)
         return self.events.push(self.now + delay, callback, priority, tag)
 
     def spawn(self, gen: Generator, name: str = "proc") -> Process:

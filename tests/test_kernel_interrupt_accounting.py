@@ -1,0 +1,134 @@
+"""Regression: interrupt/forced-release accounting in the kernel.
+
+Pins the fixes for two long-standing accounting bugs:
+
+* a double ``interrupt()`` (fault injector + workload teardown hitting
+  the same process) must be idempotent -- one forced release, one
+  generator close, no re-entry through ``held_locks``;
+* a process interrupted in the *grant window* (lock assigned, resume
+  event not yet fired) never entered its critical section, so the
+  hand-back is clean and must NOT count as a forced release;
+* after a mass interrupt no finished process may linger in a lock's
+  wait queue or wait-start map.
+"""
+
+from repro.sim.kernel import Acquire, Lock, Simulator, Timeout
+
+
+def _holder_and_waiters(sim, lock, count=3, hold=5.0):
+    """Spawn ``count`` processes: one holds the lock, the rest queue."""
+    procs = []
+
+    def worker(idx):
+        def run():
+            yield Timeout(0.1 * (idx + 1))
+            yield Acquire(lock)
+            yield Timeout(hold)
+            lock.release()
+        return run()
+
+    for i in range(count):
+        procs.append(sim.spawn(worker(i), name=f"worker-{i}"))
+    return procs
+
+
+def test_double_interrupt_counts_one_forced_release():
+    sim = Simulator(seed=1)
+    lock = Lock(sim, name="lock")
+    procs = _holder_and_waiters(sim, lock)
+
+    def injector():
+        yield Timeout(1.0)
+        procs[0].interrupt()
+        procs[0].interrupt()    # second hit: must be a no-op
+
+    sim.spawn(injector(), name="injector")
+    sim.run(until=30.0)
+    assert lock.forced_releases == 1
+    assert procs[0].finished
+
+
+def test_interrupt_in_grant_window_is_not_a_forced_release():
+    """Kill the waiter at the exact moment it is granted but not resumed."""
+    sim = Simulator(seed=1)
+    lock = Lock(sim, name="lock")
+    procs = _holder_and_waiters(sim, lock, count=2, hold=1.0)
+
+    def injector():
+        # Holder acquires at 0.1, releases at 1.1; the waiter's grant
+        # resume is scheduled for 1.1 but fires after us: interrupt it
+        # inside the window.
+        yield Timeout(1.1)
+        if not procs[1].finished:
+            procs[1].interrupt()
+
+    sim.spawn(injector(), name="injector")
+    sim.run(until=30.0)
+    # The waiter never entered its critical section: clean hand-back.
+    assert lock.forced_releases == 0
+    assert lock._holder is None
+
+
+def test_cascading_interrupts_count_each_entered_holder_once():
+    """Interrupting holder after holder: one forced release per torn
+    section, never per waiter."""
+    sim = Simulator(seed=1)
+    lock = Lock(sim, name="lock")
+    procs = _holder_and_waiters(sim, lock, count=3, hold=5.0)
+
+    def injector():
+        yield Timeout(1.0)
+        procs[0].interrupt()    # entered holder: torn
+        yield Timeout(1.0)
+        procs[1].interrupt()    # by now entered (granted at 1.0): torn
+        yield Timeout(1.0)
+        procs[2].interrupt()    # entered: torn
+
+    sim.spawn(injector(), name="injector")
+    sim.run(until=30.0)
+    assert lock.forced_releases == 3
+    assert lock._holder is None
+    assert not lock._waiters
+
+
+def test_mass_interrupt_leaves_no_finished_process_queued():
+    sim = Simulator(seed=1)
+    lock = Lock(sim, name="lock")
+    procs = _holder_and_waiters(sim, lock, count=5, hold=50.0)
+
+    def injector():
+        yield Timeout(1.0)
+        for proc in procs:
+            proc.interrupt()
+
+    sim.spawn(injector(), name="injector")
+    sim.run(until=200.0)
+    assert all(p.finished for p in procs)
+    assert not lock._waiters
+    assert not lock._wait_started
+    assert lock._holder is None
+    # Exactly one holder had entered when the wave hit.
+    assert lock.forced_releases == 1
+
+
+def test_interrupted_waiter_is_skipped_not_granted():
+    sim = Simulator(seed=1)
+    lock = Lock(sim, name="lock")
+    procs = _holder_and_waiters(sim, lock, count=3, hold=2.0)
+    order = []
+    original_grant = lock._grant
+
+    def recording_grant(process, waited):
+        order.append(process.name)
+        original_grant(process, waited)
+
+    lock._grant = recording_grant
+
+    def injector():
+        yield Timeout(1.0)
+        procs[1].interrupt()    # queued waiter, never granted
+
+    sim.spawn(injector(), name="injector")
+    sim.run(until=30.0)
+    assert "worker-1" not in order
+    assert order == ["worker-0", "worker-2"]

@@ -1,0 +1,220 @@
+"""Vector-clock laws and kernel-derived happens-before edges.
+
+The algebra half is property-based over seeded random clocks: join is a
+commutative idempotent monoid with {} as identity, leq is a partial
+order, tick strictly advances, and concurrency is exactly leq-
+incomparability.  The kernel half builds tiny simulations and asserts
+the tracker derives the right edges: transitivity through a channel
+hand-off (including buffered items), ordering through lock release ->
+acquire (contended *and* uncontended), and -- deliberately -- *no* edge
+across a forced release, which is the atomicity-violation signal.
+"""
+
+import random
+
+import pytest
+
+from repro.sanitize import RaceTracker, concurrent, join, leq, tick
+from repro.sanitize.vc import join_into
+from repro.sim.kernel import Acquire, Channel, Get, Lock, Simulator, Timeout
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+def _random_vc(rng: random.Random) -> dict:
+    pids = rng.sample(range(10), rng.randint(0, 5))
+    return {pid: rng.randint(1, 12) for pid in pids}
+
+
+class TestAlgebraLaws:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_join_commutative_associative_idempotent(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            a, b, c = (_random_vc(rng) for _ in range(3))
+            assert join(a, b) == join(b, a)
+            assert join(join(a, b), c) == join(a, join(b, c))
+            assert join(a, a) == a
+            assert join(a, {}) == a
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_join_is_least_upper_bound(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            a, b = _random_vc(rng), _random_vc(rng)
+            both = join(a, b)
+            assert leq(a, both) and leq(b, both)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_leq_partial_order(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            a, b, c = (_random_vc(rng) for _ in range(3))
+            assert leq(a, a)
+            # Antisymmetry: random clocks have no explicit zeros, so
+            # mutual leq forces structural equality.
+            if leq(a, b) and leq(b, a):
+                assert a == b
+            if leq(a, b) and leq(b, c):
+                assert leq(a, c)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tick_strictly_advances(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            a = _random_vc(rng)
+            pid = rng.randrange(10)
+            after = tick(a, pid)
+            assert leq(a, after) and not leq(after, a)
+            assert after[pid] == a.get(pid, 0) + 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_concurrent_iff_incomparable(self, seed):
+        rng = random.Random(seed)
+        for _ in range(50):
+            a, b = _random_vc(rng), _random_vc(rng)
+            assert concurrent(a, b) == (not leq(a, b) and not leq(b, a))
+            assert concurrent(a, b) == concurrent(b, a)
+            assert not concurrent(a, a)
+
+    def test_join_into_matches_join(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            a, b = _random_vc(rng), _random_vc(rng)
+            target = dict(a)
+            join_into(target, b)
+            assert target == join(a, b)
+
+
+class TestKernelEdges:
+    def test_channel_handoff_transitivity(self):
+        """putter -> getter -> final clock: HB is transitive through Get."""
+        sim = Simulator(seed=1)
+        tracker = RaceTracker().attach(sim)
+        channel = Channel(sim, name="chan")
+
+        def putter():
+            yield Timeout(1.0)
+            channel.put("item")
+
+        def getter():
+            item = yield Get(channel)
+            yield Timeout(0.5)
+            assert item == "item"
+
+        sim.spawn(putter(), name="putter")
+        sim.spawn(getter(), name="getter")
+        sim.run(until=10.0)
+        assert leq(tracker.clock_of("putter"), tracker.clock_of("getter"))
+
+    def test_buffered_channel_item_carries_put_clock(self):
+        """An item buffered long before the Get still orders putter->getter."""
+        sim = Simulator(seed=1)
+        tracker = RaceTracker().attach(sim)
+        channel = Channel(sim, name="chan")
+
+        def putter():
+            yield Timeout(0.1)
+            channel.put("early")
+
+        def late_getter():
+            yield Timeout(5.0)
+            item = yield Get(channel)
+            assert item == "early"
+
+        sim.spawn(putter(), name="putter")
+        sim.spawn(late_getter(), name="getter")
+        sim.run(until=10.0)
+        putter_at_put = dict(tracker.clock_of("putter"))
+        assert leq(putter_at_put, tracker.clock_of("getter"))
+
+    def test_lock_orders_contended_and_uncontended_acquires(self):
+        sim = Simulator(seed=1)
+        tracker = RaceTracker().attach(sim)
+        lock = Lock(sim, name="lock")
+        order = []
+
+        def worker(name, start):
+            def run():
+                yield Timeout(start)
+                yield Acquire(lock)
+                order.append(name)
+                yield Timeout(0.2)
+                lock.release()
+            return run()
+
+        # a/b contend (b queues while a holds); c acquires uncontended
+        # long after b released -- all three must still chain.
+        sim.spawn(worker("a", 1.0), name="a")
+        sim.spawn(worker("b", 1.1), name="b")
+        sim.spawn(worker("c", 9.0), name="c")
+        sim.run(until=20.0)
+        assert order == ["a", "b", "c"]
+        assert leq(tracker.clock_of("a"), tracker.clock_of("b"))
+        assert leq(tracker.clock_of("b"), tracker.clock_of("c"))
+        assert leq(tracker.clock_of("a"), tracker.clock_of("c"))
+
+    def test_forced_release_creates_no_edge(self):
+        """The next holder stays unordered with the interrupted victim."""
+        sim = Simulator(seed=1)
+        tracker = RaceTracker().attach(sim)
+        lock = Lock(sim, name="lock")
+        procs = {}
+
+        def victim():
+            yield Timeout(1.0)
+            yield Acquire(lock)
+            yield Timeout(5.0)      # torn here: no try/finally
+            lock.release()
+
+        def successor():
+            yield Timeout(1.5)
+            yield Acquire(lock)
+            yield Timeout(0.1)
+            lock.release()
+
+        def injector():
+            yield Timeout(2.0)
+            procs["victim"].interrupt()
+
+        procs["victim"] = sim.spawn(victim(), name="victim")
+        sim.spawn(successor(), name="successor")
+        sim.spawn(injector(), name="injector")
+        sim.run(until=20.0)
+        assert lock.forced_releases == 1
+        assert len(tracker.forced_release_records) == 1
+        victim_clock = tracker.clock_of("victim")
+        successor_clock = tracker.clock_of("successor")
+        assert concurrent(victim_clock, successor_clock)
+
+    def test_spawn_edge_orders_parent_before_child(self):
+        sim = Simulator(seed=1)
+        tracker = RaceTracker().attach(sim)
+
+        def child():
+            yield Timeout(0.1)
+
+        def parent():
+            yield Timeout(1.0)
+            sim.spawn(child(), name="child")
+            yield Timeout(0.1)
+
+        sim.spawn(parent(), name="parent")
+        sim.run(until=10.0)
+        # The child inherited the parent's clock component through the
+        # spawn-time schedule wrapper.
+        child_clock = tracker.clock_of("child")
+        assert child_clock.get(tracker._pids["parent"], 0) > 0
+
+    def test_unsynchronized_siblings_stay_concurrent(self):
+        sim = Simulator(seed=1)
+        tracker = RaceTracker().attach(sim)
+
+        def sibling():
+            yield Timeout(1.0)
+            yield Timeout(1.0)
+
+        sim.spawn(sibling(), name="s1")
+        sim.spawn(sibling(), name="s2")
+        sim.run(until=10.0)
+        assert concurrent(tracker.clock_of("s1"), tracker.clock_of("s2"))
