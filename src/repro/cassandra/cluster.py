@@ -93,6 +93,13 @@ class ClusterConfig:
     #: identical event order; the knob exists for the differential
     #: determinism tests.
     scheduler: str = "wheel"
+    #: Gossip state representation: "dict" (one EndpointState object per
+    #: observer-endpoint pair, the reference implementation) or
+    #: "columnar" (struct-of-arrays with cluster-shared interning, the
+    #: large-N backend).  Both produce byte-identical RunReports; the
+    #: differential suite in tests/test_state_backend_differential.py
+    #: pins it.
+    state_backend: str = "dict"
 
     @classmethod
     def for_bug(cls, bug_id: str, nodes: int, mode: Mode = Mode.REAL,
@@ -118,6 +125,13 @@ class Cluster:
         race_tracker=None,
     ) -> None:
         self.config = config
+        self.shared_state = None
+        if config.state_backend == "columnar":
+            from .state_columnar import SharedClusterState
+            self.shared_state = SharedClusterState()
+        elif config.state_backend != "dict":
+            raise ValueError(
+                f"unknown state backend {config.state_backend!r}")
         self.sim = Simulator(seed=config.seed, scheduler=config.scheduler)
         self.sim.tracer = tracer
         self.tracer = tracer
@@ -198,6 +212,8 @@ class Cluster:
             gossip_config=self.config.gossip,
             generation=generation,
             enable_storage=self.config.enable_storage,
+            state_backend=self.config.state_backend,
+            shared_state=self.shared_state,
         )
         self.nodes[node_id] = node
         return node

@@ -278,10 +278,19 @@ class Gossiper:
             not live or self.rng.random(self._rng_stream) < self.config.seed_probability
         ):
             targets.append(self.rng.choice(self._rng_stream, self.seeds))
-        digests = make_digests(self.endpoint_state_map, self._sorted_endpoints())
+        digests = self._build_digests()
         for target in targets:
             self._send(target, SYN, digests)
         return targets
+
+    def _build_digests(self) -> List[GossipDigest]:
+        """Digest list for this round's SYNs (the state-backend seam).
+
+        Subclasses with a different state representation override only
+        this; target selection above stays shared so the RNG draw
+        sequence is identical across backends.
+        """
+        return make_digests(self.endpoint_state_map, self._sorted_endpoints())
 
     # -- message handling -----------------------------------------------------------
 

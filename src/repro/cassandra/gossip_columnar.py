@@ -1,0 +1,287 @@
+"""The gossip engine over the columnar state backend.
+
+:class:`ColumnarGossiper` subclasses :class:`~repro.cassandra.gossip.
+Gossiper` and overrides exactly the state-touching paths: digest
+construction, SYN handling, state application, conviction sweeps and
+own-state publication read/write the :class:`~repro.cassandra.
+state_columnar.ColumnarEndpointStore` columns directly instead of
+per-endpoint ``EndpointState`` objects.  Everything else -- round
+pacing, RNG target selection, ACK/ACK2 flow, liveness sets, counters --
+is inherited unchanged, so the two backends stay byte-identical by
+construction wherever the protocol itself is concerned (the
+differential suite in ``tests/test_state_backend_differential.py``
+pins this).
+
+The wire format is shared: blobs, digests and payload orderings are
+exactly the dict backend's, including the insertion-order iteration of
+the endpoint map that reaches ACK payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .gossip import ACK, Gossiper
+from .state import STATUS, STATUS_LEFT, GossipDigest, VersionedValue, blob_entry_count
+from .state_columnar import (
+    ColumnarEndpointStore,
+    ColumnarFailureDetector,
+    ColumnarStateMap,
+    EndpointStateView,
+    SharedClusterState,
+)
+
+
+class ColumnarGossiper(Gossiper):
+    """One node's gossip engine, columnar state edition."""
+
+    def __init__(self, shared: SharedClusterState, **kwargs) -> None:
+        # Set before super().__init__: the base constructor ends by
+        # calling _init_own_state, which needs the store.
+        self._shared = shared
+        self._store = ColumnarEndpointStore(shared)
+        self._own_gid = -1
+        super().__init__(**kwargs)
+
+    # -- local state ------------------------------------------------------------
+
+    def _init_own_state(self, generation: int) -> None:
+        self.fd = ColumnarFailureDetector(
+            shared=self._shared,
+            phi_threshold=self.config.phi_threshold,
+            window_size=self.config.fd_window,
+            expected_interval=self.config.interval,
+        )
+        self.endpoint_state_map = ColumnarStateMap(self._store)
+        gid = self._shared.gid(self.node_id)
+        self._store.ensure_capacity(gid)
+        self._store.insert(self.node_id, gid, generation, 0,
+                           self._shared.empty_app, self._now())
+        self._own_gid = gid
+        self._own_view = EndpointStateView(self._store, gid)
+
+    @property
+    def own_state(self) -> EndpointStateView:
+        """This node's own endpoint state (write-through view)."""
+        return self._own_view
+
+    def set_app_state(self, key: str, value: str,
+                      payload: Optional[tuple] = None) -> None:
+        """Publish one of our own application states (STATUS, TOKENS, ...)."""
+        versioned = VersionedValue(value, self.versions.next(), payload)
+        store = self._store
+        gid = self._own_gid
+        items = store.app[gid].items
+        merged: List[Tuple[str, VersionedValue]] = []
+        placed = False
+        for existing_key, existing_value in items:
+            if existing_key == key:
+                merged.append((key, versioned))
+                placed = True
+            elif not placed and existing_key > key:
+                merged.append((key, versioned))
+                merged.append((existing_key, existing_value))
+                placed = True
+            else:
+                merged.append((existing_key, existing_value))
+        if not placed:
+            merged.append((key, versioned))
+        store.app[gid] = self._shared.intern_items(tuple(merged))
+        store.digest_cache[gid] = None
+
+    # -- gossip round -------------------------------------------------------------
+
+    def _build_digests(self) -> List[GossipDigest]:
+        """Digest list for this round's SYNs, from the columns.
+
+        Per-row digests are memoized in the store and interned in the
+        shared digest table, so an unchanged endpoint costs one list
+        lookup and a changed one costs one dict probe cluster-wide.
+        """
+        store = self._store
+        registry = self._shared.registry
+        generation = store.generation
+        hb_version = store.hb_version
+        app = store.app
+        digest_cache = store.digest_cache
+        intern_digest = self._shared.intern_digest
+        digests: List[GossipDigest] = []
+        append = digests.append
+        for endpoint in self._sorted_endpoints():
+            gid = registry[endpoint]
+            digest = digest_cache[gid]
+            if digest is None:
+                hb = hb_version[gid]
+                max_app = app[gid].max_app
+                digest = intern_digest(
+                    endpoint, generation[gid],
+                    hb if hb > max_app else max_app)
+                digest_cache[gid] = digest
+            append(digest)
+        return digests
+
+    # -- message handling -----------------------------------------------------------
+
+    def _handle_syn(self, digests: List[GossipDigest], src: str) -> int:
+        send_states: Dict[str, tuple] = {}
+        requests: List[Tuple[str, int]] = []
+        seen = set()
+        seen_add = seen.add
+        requests_append = requests.append
+        store = self._store
+        registry_get = self._shared.registry.get
+        gen_col = store.generation
+        hb_col = store.hb_version
+        app_col = store.app
+        known = len(gen_col)
+        for endpoint, generation, max_version in digests:
+            seen_add(endpoint)
+            gid = registry_get(endpoint)
+            if gid is None or gid >= known or gen_col[gid] < 0:
+                requests_append((endpoint, 0))
+                continue
+            local_generation = gen_col[gid]
+            if generation == local_generation:
+                record = app_col[gid]
+                hb = hb_col[gid]
+                local_version = hb if hb > record.max_app else record.max_app
+                if max_version > local_version:
+                    requests_append((endpoint, local_version))
+                elif max_version < local_version:
+                    send_states[endpoint] = (
+                        local_generation, hb,
+                        tuple(entry for entry in record.wire
+                              if entry[2] > max_version))
+            elif generation > local_generation:
+                requests_append((endpoint, 0))
+            else:
+                send_states[endpoint] = (
+                    local_generation, hb_col[gid], app_col[gid].wire)
+        # Endpoints the sender has never heard of, in discovery order
+        # (the dict backend's map-insertion order).
+        order_names = store.order_names
+        if len(seen) < store.present or not seen.issuperset(order_names):
+            order_gids = store.order_gids
+            for index, endpoint in enumerate(order_names):
+                if endpoint not in seen:
+                    gid = order_gids[index]
+                    send_states[endpoint] = (
+                        gen_col[gid], hb_col[gid], app_col[gid].wire)
+        self._send(src, ACK, (send_states, requests))
+        if send_states:
+            return len(digests) + sum(blob_entry_count(b)
+                                      for b in send_states.values())
+        return len(digests)
+
+    # -- state application -------------------------------------------------------------
+
+    def _apply_state(self, endpoint: str, blob: tuple) -> None:
+        if endpoint == self.node_id:
+            return
+        generation, hb_version, app_items = blob
+        now = self._now()
+        store = self._store
+        shared = self._shared
+        gid = shared.gid(endpoint)
+        store.ensure_capacity(gid)
+        local_generation = store.generation[gid]
+        if local_generation < 0 or generation > local_generation:
+            restarted = local_generation >= 0
+            record = shared.intern_wire(app_items)
+            if restarted:
+                store.generation[gid] = generation
+                store.hb_version[gid] = hb_version
+                store.update_ts[gid] = now
+                store.alive[gid] = 1
+                store.app[gid] = record
+                store.digest_cache[gid] = None
+            else:
+                store.insert(endpoint, gid, generation, hb_version,
+                             record, now)
+            self.states_applied += 1
+            self.fd.report(endpoint, now)
+            self._mark_alive_gid(endpoint, gid)
+            if restarted and self.on_restart is not None:
+                self.on_restart(endpoint, EndpointStateView(store, gid))
+            for key, value, __, ___ in app_items:
+                if key == STATUS:
+                    self._notify_status(endpoint, value,
+                                        EndpointStateView(store, gid))
+            return
+        if generation < local_generation:
+            return  # stale incarnation
+        if hb_version > store.hb_version[gid]:
+            store.hb_version[gid] = hb_version
+            store.update_ts[gid] = now
+            store.digest_cache[gid] = None
+            self.states_applied += 1
+            self.fd.report(endpoint, now)
+            self._mark_alive_gid(endpoint, gid)
+        if not app_items:
+            return
+        # Merge app states newer than what we hold, deferring STATUS
+        # notifications until every item applied (same blob carries the
+        # TOKENS a BOOT/NORMAL handler needs).
+        record = store.app[gid]
+        current = dict(record.items)
+        current_get = current.get
+        status_changes = []
+        changed = False
+        for key, value, version, item_payload in app_items:
+            existing = current_get(key)
+            if existing is None or version > existing.version:
+                current[key] = VersionedValue(value, version, item_payload)
+                changed = True
+                if key == STATUS:
+                    status_changes.append(value)
+        if changed:
+            store.app[gid] = shared.intern_items(tuple(sorted(current.items())))
+            store.digest_cache[gid] = None
+        for value in status_changes:
+            self._notify_status(endpoint, value, EndpointStateView(store, gid))
+
+    # -- liveness -------------------------------------------------------------------------
+
+    def _mark_alive_gid(self, endpoint: str, gid: int) -> None:
+        store = self._store
+        if store.app[gid].status == STATUS_LEFT:
+            return
+        if endpoint in self.unreachable_endpoints:
+            self.unreachable_endpoints.discard(endpoint)
+            self.live_endpoints.add(endpoint)
+            store.alive[gid] = 1
+            self.flaps.record_recovery(self._now(), self.node_id, endpoint)
+        elif endpoint not in self.live_endpoints:
+            self.live_endpoints.add(endpoint)
+            store.alive[gid] = 1
+
+    def _mark_alive(self, endpoint: str, state) -> None:
+        self._mark_alive_gid(endpoint, self._shared.registry[endpoint])
+
+    def check_convictions(self) -> List[str]:
+        """FD sweep over the columns (see the base class for semantics)."""
+        now = self._now()
+        convicted: List[str] = []
+        node_id = self.node_id
+        store = self._store
+        registry_get = self._shared.registry.get
+        gen_col = store.generation
+        app_col = store.app
+        alive_col = store.alive
+        known = len(gen_col)
+        should_convict = self.fd.should_convict
+        for endpoint in self._sorted_live():
+            if endpoint == node_id:
+                continue
+            gid = registry_get(endpoint)
+            if gid is None or gid >= known or gen_col[gid] < 0:
+                continue
+            if app_col[gid].status == STATUS_LEFT:
+                continue
+            if should_convict(endpoint, now):
+                self.live_endpoints.discard(endpoint)
+                self.unreachable_endpoints.add(endpoint)
+                alive_col[gid] = 0
+                self.flaps.record_conviction(now, node_id, endpoint)
+                convicted.append(endpoint)
+        return convicted

@@ -186,6 +186,8 @@ class Node:
         gossip_config: Optional[GossipConfig] = None,
         generation: int = 1,
         enable_storage: bool = False,
+        state_backend: str = "dict",
+        shared_state=None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -203,7 +205,7 @@ class Node:
         self.calc_queue: Channel = sim.channel(f"calcq:{node_id}")
         self.ring_lock = sim.lock(f"ring:{node_id}")
         self.metadata = TokenMetadata()
-        self.gossiper = Gossiper(
+        gossiper_kwargs = dict(
             node_id=node_id,
             generation=generation,
             seeds=seeds,
@@ -214,6 +216,17 @@ class Node:
             config=gossip_config,
             on_status_change=self._on_status_change,
         )
+        if state_backend == "columnar":
+            from .gossip_columnar import ColumnarGossiper
+            from .state_columnar import SharedClusterState
+            if shared_state is None:
+                shared_state = SharedClusterState()
+            self.gossiper = ColumnarGossiper(shared=shared_state,
+                                             **gossiper_kwargs)
+        elif state_backend == "dict":
+            self.gossiper = Gossiper(**gossiper_kwargs)
+        else:
+            raise ValueError(f"unknown state backend {state_backend!r}")
         network.register(node_id, self.inbox)
         self.storage = None
         self.storage_inbox: Optional[Channel] = None

@@ -1,0 +1,529 @@
+"""Columnar (struct-of-arrays) gossip endpoint state.
+
+The dict backend in :mod:`repro.cassandra.state` keeps one
+:class:`~repro.cassandra.state.EndpointState` object -- a heartbeat
+dataclass plus an app-state dict plus four memo slots -- per (observer,
+endpoint) pair.  At N nodes that is N^2 such objects; the N=256 gossip
+benchmark already peaks near half a gigabyte, and N=2048 (4.2M pairs)
+does not fit on one machine.  This module stores the same information
+columnarly:
+
+* :class:`SharedClusterState` -- one per cluster: the endpoint-name
+  registry (name -> dense integer ``gid``), the interned app-state
+  tables (each distinct *set* of versioned application states exists
+  once, cluster-wide, as an :class:`InternedAppStates` record carrying
+  its precomputed wire tuple, max version, STATUS and TOKENS), and the
+  shared digest table (one :class:`~repro.cassandra.state.GossipDigest`
+  per distinct ``(endpoint, generation, max_version)``, shared by every
+  observer instead of N copies).
+* :class:`ColumnarEndpointStore` -- one per observer: dense arrays
+  indexed by gid (generation, heartbeat version, update timestamp,
+  alive flag) plus one reference per row into the interned app table.
+  An absent endpoint is ``generation == -1``; rows are never removed
+  (the dict backend never deletes map entries either).
+* :class:`EndpointStateView` -- an on-demand proxy with the
+  ``EndpointState`` read/write surface, so cold paths (cluster
+  assembly, storage liveness checks, tests) need no changes.
+* :class:`ColumnarFailureDetector` -- the phi-accrual detector over
+  dense per-target columns, bit-identical to
+  :class:`~repro.cassandra.failure_detector.PhiAccrualFailureDetector`
+  (same accumulation order, same memoized exact division).
+
+Interning exploits what gossip converges *to*: across 4.2M pairs there
+are only about N distinct app-state sets in flight, so per-row cost
+collapses to ~40 bytes of columns plus two shared references.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Mapping
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .failure_detector import PHI_FACTOR, FailureDetectorStats
+from .state import STATUS, TOKENS, GossipDigest, VersionedValue
+
+_NAN = float("nan")
+
+
+class InternedAppStates:
+    """One distinct application-state set, interned cluster-wide.
+
+    Carries every value the hot paths derive from the set, computed once
+    at intern time instead of memoized per (observer, endpoint) row:
+    the sorted ``(key, VersionedValue)`` items, the wire-format tuple,
+    the max app version, and the STATUS / TOKENS projections.
+    """
+
+    __slots__ = ("items", "wire", "max_app", "status", "tokens_payload")
+
+    def __init__(self, items: Tuple[Tuple[str, VersionedValue], ...]) -> None:
+        self.items = items
+        self.wire = tuple(
+            (key, value.value, value.version, value.payload)
+            for key, value in items
+        )
+        max_app = 0
+        status: Optional[str] = None
+        tokens_payload: Optional[tuple] = None
+        for key, value in items:
+            if value.version > max_app:
+                max_app = value.version
+            if key == STATUS:
+                status = value.value
+            elif key == TOKENS:
+                tokens_payload = value.payload
+        self.max_app = max_app
+        self.status = status
+        self.tokens_payload = tokens_payload
+
+
+class SharedClusterState:
+    """Cluster-wide shared tables behind every columnar observer."""
+
+    __slots__ = ("registry", "names", "_app_table", "_digest_table",
+                 "empty_app")
+
+    def __init__(self) -> None:
+        #: endpoint name -> dense gid (registration order, append-only).
+        self.registry: Dict[str, int] = {}
+        #: gid -> endpoint name.
+        self.names: List[str] = []
+        self._app_table: Dict[tuple, InternedAppStates] = {}
+        self._digest_table: Dict[tuple, GossipDigest] = {}
+        self.empty_app = self.intern_items(())
+
+    def gid(self, name: str) -> int:
+        """The dense id for ``name``, registering it on first use."""
+        gid = self.registry.get(name)
+        if gid is None:
+            gid = self.registry[name] = len(self.names)
+            self.names.append(name)
+        return gid
+
+    def intern_items(
+        self, items: Tuple[Tuple[str, VersionedValue], ...]
+    ) -> InternedAppStates:
+        """The interned record for a sorted ``(key, value)`` item tuple."""
+        record = self._app_table.get(items)
+        if record is None:
+            record = self._app_table[items] = InternedAppStates(items)
+        return record
+
+    def intern_wire(self, wire: tuple) -> InternedAppStates:
+        """The interned record for a wire-format app-items tuple.
+
+        Wire tuples produced by ``to_blob``/``delta_blob`` are key-sorted
+        already; hand-built test blobs may not be, so sortedness is
+        checked (cheap: blobs carry at most a handful of items).
+        """
+        items = tuple(
+            (key, VersionedValue(value, version, payload))
+            for key, value, version, payload in wire
+        )
+        keys = [key for key, __ in items]
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            items = tuple(sorted(items))
+        record = self._app_table.get(items)
+        if record is None:
+            record = self._app_table[items] = InternedAppStates(items)
+        return record
+
+    def intern_digest(self, endpoint: str, generation: int,
+                      max_version: int) -> GossipDigest:
+        """One shared digest per distinct (endpoint, generation, max)."""
+        key = (endpoint, generation, max_version)
+        digest = self._digest_table.get(key)
+        if digest is None:
+            digest = self._digest_table[key] = GossipDigest(
+                endpoint, generation, max_version)
+        return digest
+
+
+class ColumnarEndpointStore:
+    """One observer's per-endpoint state, as dense gid-indexed columns."""
+
+    __slots__ = ("shared", "generation", "hb_version", "update_ts", "alive",
+                 "app", "digest_cache", "order_names", "order_gids",
+                 "present")
+
+    def __init__(self, shared: SharedClusterState) -> None:
+        self.shared = shared
+        #: -1 == endpoint unknown to this observer.
+        self.generation = array("q")
+        self.hb_version = array("q")
+        self.update_ts = array("d")
+        self.alive = bytearray()
+        #: gid -> InternedAppStates (None while absent).
+        self.app: List[Optional[InternedAppStates]] = []
+        #: gid -> memoized shared digest (None == recompute).
+        self.digest_cache: List[Optional[GossipDigest]] = []
+        #: Discovery order, mirroring the dict backend's insertion order
+        #: (it leaks into ACK payload ordering and hence flap ordering).
+        self.order_names: List[str] = []
+        self.order_gids = array("q")
+        self.present = 0
+
+    def ensure_capacity(self, gid: int) -> None:
+        """Grow the columns to cover ``gid`` (registry grew)."""
+        missing = gid + 1 - len(self.generation)
+        if missing > 0:
+            self.generation.extend([-1] * missing)
+            self.hb_version.extend([0] * missing)
+            self.update_ts.extend([0.0] * missing)
+            self.alive.extend(b"\x00" * missing)
+            self.app.extend([None] * missing)
+            self.digest_cache.extend([None] * missing)
+
+    def insert(self, name: str, gid: int, generation: int, hb_version: int,
+               record: InternedAppStates, now: float) -> None:
+        """Materialize a previously absent endpoint row."""
+        self.generation[gid] = generation
+        self.hb_version[gid] = hb_version
+        self.update_ts[gid] = now
+        self.alive[gid] = 1
+        self.app[gid] = record
+        self.digest_cache[gid] = None
+        self.order_names.append(name)
+        self.order_gids.append(gid)
+        self.present += 1
+
+    def view(self, gid: int) -> "EndpointStateView":
+        """A fresh proxy for row ``gid``."""
+        return EndpointStateView(self, gid)
+
+
+class HeartBeatView:
+    """Write-through proxy for one row's ``(generation, version)`` pair."""
+
+    __slots__ = ("_store", "_gid")
+
+    def __init__(self, store: ColumnarEndpointStore, gid: int) -> None:
+        self._store = store
+        self._gid = gid
+
+    @property
+    def generation(self) -> int:
+        """Generation (bumps on restart)."""
+        return self._store.generation[self._gid]
+
+    @generation.setter
+    def generation(self, value: int) -> None:
+        self._store.generation[self._gid] = value
+        self._store.digest_cache[self._gid] = None
+
+    @property
+    def version(self) -> int:
+        """Heartbeat version (bumps on beat)."""
+        return self._store.hb_version[self._gid]
+
+    @version.setter
+    def version(self, value: int) -> None:
+        self._store.hb_version[self._gid] = value
+        self._store.digest_cache[self._gid] = None
+
+    def beat(self, versions) -> None:
+        """Advance the heartbeat version."""
+        self._store.hb_version[self._gid] = versions.next()
+        self._store.digest_cache[self._gid] = None
+
+
+class EndpointStateView:
+    """``EndpointState``-shaped proxy over one store row.
+
+    Built on demand by cold paths; the hot gossip loops read the columns
+    directly and never allocate one of these.
+    """
+
+    __slots__ = ("_store", "_gid")
+
+    def __init__(self, store: ColumnarEndpointStore, gid: int) -> None:
+        self._store = store
+        self._gid = gid
+
+    @property
+    def heartbeat(self) -> HeartBeatView:
+        """Write-through heartbeat proxy."""
+        return HeartBeatView(self._store, self._gid)
+
+    @property
+    def update_timestamp(self) -> float:
+        """Observer-local last-update time."""
+        return self._store.update_ts[self._gid]
+
+    @update_timestamp.setter
+    def update_timestamp(self, value: float) -> None:
+        self._store.update_ts[self._gid] = value
+
+    @property
+    def alive(self) -> bool:
+        """Observer-local liveness flag."""
+        return bool(self._store.alive[self._gid])
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        self._store.alive[self._gid] = 1 if value else 0
+
+    @property
+    def app_states(self) -> Dict[str, VersionedValue]:
+        """Read-only snapshot of the application states.
+
+        Mutations belong on the gossiper (``set_app_state`` /
+        ``_apply_state``), which re-interns; writing into this snapshot
+        would be silently lost.
+        """
+        return dict(self._store.app[self._gid].items)
+
+    def status(self) -> Optional[str]:
+        """The STATUS application-state value, if any (O(1))."""
+        return self._store.app[self._gid].status
+
+    def tokens(self) -> Optional[Tuple[int, ...]]:
+        """The gossiped token tuple, if any."""
+        return self._store.app[self._gid].tokens_payload
+
+    def max_version(self) -> int:
+        """Largest version across heartbeat and app states (O(1))."""
+        hb_version = self._store.hb_version[self._gid]
+        max_app = self._store.app[self._gid].max_app
+        return hb_version if hb_version > max_app else max_app
+
+    def digest(self, endpoint: str) -> GossipDigest:
+        """This row's shared digest (memoized per row)."""
+        store = self._store
+        gid = self._gid
+        digest = store.digest_cache[gid]
+        if digest is None or digest[0] != endpoint:
+            digest = store.shared.intern_digest(
+                endpoint, store.generation[gid], self.max_version())
+            store.digest_cache[gid] = digest
+        return digest
+
+    def to_blob(self) -> tuple:
+        """Serializable full-state snapshot (no local bookkeeping)."""
+        store = self._store
+        gid = self._gid
+        return (store.generation[gid], store.hb_version[gid],
+                store.app[gid].wire)
+
+    def delta_blob(self, newer_than: int) -> tuple:
+        """Snapshot carrying only app states newer than ``newer_than``."""
+        store = self._store
+        gid = self._gid
+        return (
+            store.generation[gid],
+            store.hb_version[gid],
+            tuple(entry for entry in store.app[gid].wire
+                  if entry[2] > newer_than),
+        )
+
+    def __repr__(self) -> str:
+        store = self._store
+        gid = self._gid
+        name = store.shared.names[gid] if gid < len(store.shared.names) else "?"
+        return (f"EndpointStateView({name!r}, gen={store.generation[gid]}, "
+                f"version={store.hb_version[gid]})")
+
+
+class ColumnarStateMap(Mapping):
+    """Dict-shaped read facade over a :class:`ColumnarEndpointStore`.
+
+    Iteration follows discovery order -- exactly the dict backend's
+    insertion order -- because ACK payload construction iterates the map
+    and its ordering reaches the wire (and, through application order on
+    the receiver, the flap-event log).
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: ColumnarEndpointStore) -> None:
+        self._store = store
+
+    def __len__(self) -> int:
+        return self._store.present
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store.order_names)
+
+    def __contains__(self, name: object) -> bool:
+        store = self._store
+        gid = store.shared.registry.get(name)
+        return (gid is not None and gid < len(store.generation)
+                and store.generation[gid] >= 0)
+
+    def __getitem__(self, name: str) -> EndpointStateView:
+        store = self._store
+        gid = store.shared.registry.get(name)
+        if (gid is None or gid >= len(store.generation)
+                or store.generation[gid] < 0):
+            raise KeyError(name)
+        return EndpointStateView(store, gid)
+
+    def get(self, name: str, default=None):
+        """O(1) lookup returning a fresh view (or ``default``)."""
+        store = self._store
+        gid = store.shared.registry.get(name)
+        if (gid is None or gid >= len(store.generation)
+                or store.generation[gid] < 0):
+            return default
+        return EndpointStateView(store, gid)
+
+
+class ColumnarFailureDetector:
+    """Phi-accrual detector over dense per-target columns.
+
+    Drop-in for :class:`~repro.cassandra.failure_detector.
+    PhiAccrualFailureDetector` with bit-identical arithmetic: interval
+    sums accumulate in the same order, the mean is the same memoized
+    exact division, and phi uses the same expression.  The per-target
+    interval window is a lazily created ``array('d')`` -- the window
+    contents are only ever *read* when the window slides (the 1001st
+    arrival for one target), so the 4.2M bootstrap-only pairs of a large
+    established cluster cost 32 bytes of columns each and no buffer.
+    """
+
+    def __init__(
+        self,
+        shared: SharedClusterState,
+        phi_threshold: float,
+        window_size: int,
+        expected_interval: float,
+    ) -> None:
+        self.shared = shared
+        self.phi_threshold = phi_threshold
+        self.window_size = window_size
+        self.expected_interval = expected_interval
+        self.stats = FailureDetectorStats()
+        self._bootstrap = expected_interval / 2.0
+        self._last_arrival = array("d")
+        self._interval_sum = array("d")
+        self._count = array("q")
+        self._mean_cache = array("d")      # NaN == recompute
+        self._samples: List[Optional[array]] = []
+        self._ring_heads: Dict[int, int] = {}
+        #: First-report order of currently known targets (mirrors the
+        #: dict backend's window-dict insertion order for ``phis``).
+        self._order: List[str] = []
+
+    def _ensure_capacity(self, gid: int) -> None:
+        missing = gid + 1 - len(self._count)
+        if missing > 0:
+            self._last_arrival.extend([0.0] * missing)
+            self._interval_sum.extend([0.0] * missing)
+            self._count.extend([0] * missing)
+            self._mean_cache.extend([_NAN] * missing)
+            self._samples.extend([None] * missing)
+
+    def report(self, endpoint: str, now: float) -> None:
+        """Feed one heartbeat arrival for ``endpoint``."""
+        self.stats.reports += 1
+        gid = self.shared.gid(endpoint)
+        self._ensure_capacity(gid)
+        count = self._count[gid]
+        if count == 0:
+            interval = self._bootstrap
+            self._order.append(endpoint)
+        else:
+            interval = now - self._last_arrival[gid]
+            if interval < 0:
+                raise ValueError("arrival time went backwards")
+        self._last_arrival[gid] = now
+        if count < self.window_size:
+            if count >= 1:
+                buffer = self._samples[gid]
+                if buffer is None:
+                    # The deferred first sample is always the bootstrap
+                    # interval (targets start -- and restart after
+                    # forget -- with it).
+                    buffer = self._samples[gid] = array(
+                        "d", (self._bootstrap,))
+                buffer.append(interval)
+            self._count[gid] = count + 1
+            self._interval_sum[gid] += interval
+        else:
+            buffer = self._samples[gid]
+            if buffer is None:     # window_size == 1: only the deferred sample
+                buffer = self._samples[gid] = array("d", (self._bootstrap,))
+            head = self._ring_heads.get(gid, 0)
+            self._interval_sum[gid] -= buffer[head]
+            buffer[head] = interval
+            self._ring_heads[gid] = (head + 1) % self.window_size
+            self._interval_sum[gid] += interval
+        self._mean_cache[gid] = _NAN
+
+    def _known_gid(self, endpoint: str) -> int:
+        """The gid of a currently known target, or -1."""
+        gid = self.shared.registry.get(endpoint)
+        if gid is None or gid >= len(self._count) or self._count[gid] == 0:
+            return -1
+        return gid
+
+    def _mean(self, gid: int) -> float:
+        mean = self._mean_cache[gid]
+        if mean != mean:               # NaN: recompute the exact division
+            mean = self._interval_sum[gid] / self._count[gid]
+            self._mean_cache[gid] = mean
+        return mean
+
+    def phi(self, endpoint: str, now: float) -> float:
+        """Current suspicion level for ``endpoint`` at time ``now``."""
+        gid = self._known_gid(endpoint)
+        if gid < 0:
+            return 0.0
+        mean = self._mean(gid)
+        if mean < 1e-9:
+            mean = 1e-9
+        value = PHI_FACTOR * (now - self._last_arrival[gid]) / mean
+        self.stats.max_phi_seen = max(self.stats.max_phi_seen, value)
+        return value
+
+    def should_convict(self, endpoint: str, now: float) -> bool:
+        """True when suspicion for ``endpoint`` exceeds the threshold."""
+        gid = self._known_gid(endpoint)
+        if gid < 0:
+            value = 0.0
+        else:
+            mean = self._mean_cache[gid]
+            if mean != mean:
+                mean = self._mean(gid)
+            if mean < 1e-9:
+                mean = 1e-9
+            value = PHI_FACTOR * (now - self._last_arrival[gid]) / mean
+        stats = self.stats
+        if value > stats.max_phi_seen:
+            stats.max_phi_seen = value
+        convict = value > self.phi_threshold
+        if convict:
+            stats.convictions += 1
+        return convict
+
+    def forget(self, endpoint: str) -> None:
+        """Drop all state for a departed endpoint."""
+        gid = self._known_gid(endpoint)
+        if gid < 0:
+            return
+        self._count[gid] = 0
+        self._interval_sum[gid] = 0.0
+        self._mean_cache[gid] = _NAN
+        self._samples[gid] = None
+        self._ring_heads.pop(gid, None)
+        self._order.remove(endpoint)
+
+    def known_endpoints(self) -> List[str]:
+        """All endpoints with recorded state, sorted."""
+        return sorted(self._order)
+
+    def mean_interval(self, endpoint: str) -> float:
+        """Mean heartbeat inter-arrival for ``endpoint`` (NaN if unknown)."""
+        gid = self._known_gid(endpoint)
+        return self._mean(gid) if gid >= 0 else float("nan")
+
+    def phis(self, now: float) -> Dict[str, float]:
+        """Suspicion snapshot for every known endpoint (stats untouched)."""
+        result = {}
+        for endpoint in self._order:
+            gid = self._known_gid(endpoint)
+            mean = max(self._mean(gid), 1e-9)
+            result[endpoint] = (
+                PHI_FACTOR * (now - self._last_arrival[gid]) / mean)
+        return result

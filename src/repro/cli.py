@@ -26,6 +26,10 @@ Commands map one-to-one onto the library's main entry points:
                     latency percentiles;
 * ``bench``      -- run the perf microbenchmark suite and record or gate
                     the committed ``BENCH_*.json`` baselines;
+* ``partition``  -- run one gossip scenario through the partitioned
+                    lockstep kernel (K shards, optional worker processes)
+                    and print the canonical report digest; ``--self-check``
+                    asserts serial/sharded/forked runs are byte-identical;
 * ``ci``         -- the continuous-scalability gate: sweep an N-ladder of
                     gossip/workload scenarios, fit flap/throughput/memory
                     scaling slopes, and fail on trend regressions versus
@@ -448,6 +452,106 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return status
 
 
+def _partition_self_check(epoch: float) -> int:
+    """Cheap K-invariance smoke usable from CI without pytest.
+
+    Re-runs a small scenario serially, sharded, under chaos, and with
+    forked workers, and asserts every canonical report digest matches the
+    serial baseline.  Exit 2 on any mismatch (the self-check convention).
+    """
+    from .cassandra.partition import ChaosOp, PartitionSpec, run_partitioned
+
+    base = dict(nodes=12, epoch=epoch, until=4.0, seed=7)
+    chaos = (
+        ChaosOp(1.0, "crash", ("node-004",)),
+        ChaosOp(1.2, "partition",
+                (("node-000", "node-001"), ("node-002", "node-003"))),
+        ChaosOp(2.0, "restart", ("node-004",)),
+    )
+    checks = []
+
+    serial = run_partitioned(PartitionSpec(shards=1, **base))
+    for shards in (2, 4):
+        report = run_partitioned(PartitionSpec(shards=shards, **base))
+        checks.append((f"steady K={shards} == K=1",
+                       report.canonical_json() == serial.canonical_json(),
+                       f"digest {report.digest()[:12]}"))
+
+    chaos_serial = run_partitioned(PartitionSpec(shards=1, chaos=chaos,
+                                                 **base))
+    chaos_sharded = run_partitioned(PartitionSpec(shards=4, chaos=chaos,
+                                                  **base))
+    checks.append(("chaos K=4 == K=1",
+                   chaos_sharded.canonical_json()
+                   == chaos_serial.canonical_json(),
+                   f"digest {chaos_sharded.digest()[:12]}"))
+    checks.append(("chaos schedule was live",
+                   chaos_serial.dropped_down > 0
+                   and chaos_serial.dropped_cut > 0,
+                   f"dropped_down={chaos_serial.dropped_down} "
+                   f"dropped_cut={chaos_serial.dropped_cut}"))
+
+    forked = run_partitioned(PartitionSpec(shards=2, workers=2, **base))
+    checks.append(("forked workers == in-process",
+                   forked.canonical_json() == serial.canonical_json(),
+                   f"digest {forked.digest()[:12]}"))
+
+    ok = True
+    for name, passed, evidence in checks:
+        status = "ok" if passed else "FAIL"
+        print(f"  self-check {status}: {name} -- {evidence}")
+        ok = ok and passed
+    return 0 if ok else 2
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    import resource
+    import sys as _sys
+
+    from .cassandra.partition import PartitionSpec, run_partitioned
+    from .perf.bench import peak_rss_kb, reset_peak_rss
+
+    if args.self_check:
+        print("self-checking shard-merge determinism "
+              "(serial vs sharded vs forked)...")
+        return _partition_self_check(epoch=0.05)
+
+    spec = PartitionSpec(
+        nodes=args.nodes,
+        shards=args.shards,
+        epoch=args.epoch,
+        until=args.until,
+        seed=args.seed,
+        state_backend=args.backend,
+        workers=args.workers,
+        scenario=args.scenario,
+        op_time=args.op_time,
+        join_count=args.join_count,
+        observe_from=args.observe_from,
+    )
+    print(f"partitioned run: N={spec.nodes} K={spec.shards} "
+          f"workers={spec.workers} epoch={spec.epoch} until={spec.until} "
+          f"backend={spec.state_backend} scenario={spec.scenario}...",
+          flush=True)
+    reset_peak_rss()
+    report = run_partitioned(spec)
+    parent_kb = peak_rss_kb()
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    if _sys.platform == "darwin":
+        child_kb //= 1024
+    print(f"steps     {int(report.extra['steps']):,} kernel events in "
+          f"{report.wall_seconds:.1f}s wall "
+          f"({report.duration:.1f} virtual seconds)")
+    print(f"gossip    {report.flaps} flaps, {report.recoveries} recoveries, "
+          f"{report.messages_sent:,} sent, "
+          f"{report.messages_delivered:,} delivered, "
+          f"{report.messages_dropped:,} dropped")
+    print(f"memory    {parent_kb:,} KB peak RSS (coordinator) + "
+          f"{int(child_kb):,} KB (largest worker)")
+    print(f"digest    {report.digest()}")
+    return 0
+
+
 def _cmd_ci(args: argparse.Namespace) -> int:
     from .ci import (
         DEFAULT_SCENARIOS,
@@ -799,6 +903,42 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dir", default=".",
                        help="directory holding BENCH_*.json (default: cwd)")
     bench.set_defaults(func=_cmd_bench)
+
+    partition = sub.add_parser(
+        "partition",
+        help="run gossip through the partitioned lockstep kernel "
+             "(K shards, optional forked workers); byte-identical to the "
+             "serial kernel by construction")
+    partition.add_argument("--nodes", type=int, default=256)
+    partition.add_argument("--shards", type=int, default=4,
+                           help="shard count K (node i lives in shard i%%K)")
+    partition.add_argument("--workers", type=int, default=0,
+                           help="forked worker processes (0: in-process)")
+    partition.add_argument("--epoch", type=float, default=0.005,
+                           help="lockstep window width in virtual seconds "
+                                "(also the message-latency floor)")
+    partition.add_argument("--until", type=float, default=8.0,
+                           help="virtual seconds to simulate")
+    partition.add_argument("--seed", type=int, default=42)
+    partition.add_argument("--backend", default="columnar",
+                           choices=["dict", "columnar"],
+                           help="gossip state backend (columnar: the "
+                                "struct-of-arrays layout that breaks the "
+                                "N=256 RSS wall)")
+    partition.add_argument("--scenario", default="steady",
+                           choices=["steady", "decommission", "join"])
+    partition.add_argument("--op-time", type=float, default=2.0,
+                           help="when the scenario's membership op starts")
+    partition.add_argument("--join-count", type=int, default=0,
+                           help="mid-run joiners for the join scenario")
+    partition.add_argument("--observe-from", type=float, default=0.0,
+                           help="drop flaps/records before this time from "
+                                "the headline report")
+    partition.add_argument("--self-check", action="store_true",
+                           help="assert serial, sharded, chaos, and "
+                                "forked-worker runs produce byte-identical "
+                                "canonical reports; exit 2 on failure")
+    partition.set_defaults(func=_cmd_partition)
 
     ci = sub.add_parser(
         "ci",

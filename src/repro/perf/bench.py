@@ -39,8 +39,55 @@ DEFAULT_TOLERANCE = 0.15
 CALIBRATION_SPINS = 300_000
 
 
+#: ``/proc/self/clear_refs`` value that resets the kernel's peak-RSS
+#: watermark (Linux >= 4.0; see proc(5)).
+_CLEAR_PEAK = "5"
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's peak-RSS watermark for this process.
+
+    Returns True when the reset took effect (Linux with a writable
+    ``/proc/self/clear_refs``).  Elsewhere it is a no-op and
+    :func:`peak_rss_kb` keeps its process-lifetime semantics.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write(_CLEAR_PEAK)
+        return True
+    except OSError:
+        return False
+
+
+def _vm_hwm_kb() -> Optional[int]:
+    """``VmHWM`` from ``/proc/self/status`` in KiB, or None off-Linux.
+
+    Unlike ``ru_maxrss``, this watermark honours :func:`reset_peak_rss`,
+    so back-to-back measurements in one process do not inherit each
+    other's peaks.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
 def peak_rss_kb() -> int:
-    """Process peak resident set size in KiB (0 where unsupported)."""
+    """Peak resident set size in KiB since the last :func:`reset_peak_rss`.
+
+    Prefers the resettable ``VmHWM`` watermark; falls back to
+    ``ru_maxrss`` -- a process-*lifetime* high-water mark that can only
+    grow, which is exactly the bug the reset path fixes: without it, the
+    second benchmark in a process reports the peak of whichever earlier
+    benchmark was hungriest.  Returns 0 where neither source exists.
+    """
+    hwm = _vm_hwm_kb()
+    if hwm is not None:
+        return hwm
     try:
         import resource
     except ImportError:  # non-POSIX platform
@@ -164,6 +211,10 @@ def run_timed(
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive: {repeats}")
+    # Scope the RSS measurement to *this* benchmark: ru_maxrss alone is a
+    # process-lifetime high-water mark, so in a multi-benchmark run every
+    # later result would inherit the hungriest predecessor's peak.
+    reset_peak_rss()
     walls: List[float] = []
     events = 0
     for _ in range(repeats):

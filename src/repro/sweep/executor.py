@@ -25,7 +25,6 @@ canonical reports to an in-process run.
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -42,6 +41,7 @@ from ..core.scalecheck import ScaleCheck
 from ..faults.chaos import ChaosConfig, generate_schedule
 from ..faults.schedule import FaultSchedule
 from ..obs.collect import SweepCollector
+from ..sim.partition import fork_context
 from ..workload.scenarios import run_point as run_workload_point
 from .cache import SweepCache, memo_identity_key, result_key
 from .spec import SweepPoint, SweepSpec
@@ -148,9 +148,7 @@ def _run_jobs(payloads: List[Dict[str, Any]],
                      key=lambda p: p["point"]["nodes"], reverse=True)
     if workers <= 1 or len(ordered) == 1:
         return [_execute_job(p) for p in ordered]
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn")
+    ctx = fork_context()
     with ctx.Pool(processes=min(workers, len(ordered))) as pool:
         return pool.map(_execute_job, ordered, chunksize=1)
 

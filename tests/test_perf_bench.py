@@ -158,6 +158,38 @@ class TestRunTimed:
         assert calibrate(repeats=1) > 0.0
         assert peak_rss_kb() > 0
 
+    def test_sequential_benchmarks_do_not_share_a_peak(self):
+        """A hungry benchmark's RSS must not bleed into the next result.
+
+        ``ru_maxrss`` is a process-lifetime high-water mark; without the
+        watermark reset in ``run_timed`` the second (tiny) benchmark here
+        would report the first one's ~64 MiB peak.  Linux-only: elsewhere
+        the reset is a no-op and the lifetime semantics remain.
+        """
+        from repro.perf.bench import peak_rss_kb, reset_peak_rss
+
+        if not reset_peak_rss():
+            pytest.skip("peak-RSS watermark not resettable on this platform")
+        resident = peak_rss_kb()  # whatever the test process already holds
+
+        def hungry():
+            blob = bytearray(64 * 1024 * 1024)
+            blob[::4096] = b"x" * len(blob[::4096])  # fault the pages in
+            return (0.01, 1)
+
+        big = run_timed(hungry, "hungry", repeats=1,
+                        calibration_seconds=0.05)
+        import gc
+
+        gc.collect()
+        small = run_timed(lambda: (0.01, 1), "tiny", repeats=1,
+                          calibration_seconds=0.05)
+        # Deltas, not ratios: the surrounding suite may already hold an
+        # arbitrary resident set.  The hungry peak must show the 64 MiB
+        # blob, and the tiny benchmark must have forgotten it.
+        assert big.peak_rss_kb >= resident + 48 * 1024
+        assert small.peak_rss_kb <= big.peak_rss_kb - 48 * 1024
+
 
 class TestMicroSuite:
     def test_registry_covers_the_baseline_set(self):

@@ -1,0 +1,310 @@
+"""Differential determinism: columnar state backend vs the dict backend.
+
+The columnar backend replaces per-(observer, endpoint) ``EndpointState``
+objects with struct-of-arrays columns plus cluster-shared interned app
+states and digests.  The representation must be *unobservable*: the same
+scenario on either backend must produce byte-identical canonical
+``RunReport`` JSON (flap ordering included), identical simulator step
+counts, and identical delivery logs, for seeds 0..9 at N in {8, 32, 64}
+-- mirroring ``tests/test_scheduler_differential.py`` exactly.
+
+The second half parametrizes the gossip- and failure-detector-level unit
+behaviour over both backends, pinning the protocol surface (SYN/ACK/ACK2
+convergence, restart generations, LEFT handling, conviction/recovery
+flaps) rather than just the end-to-end aggregate.
+"""
+
+import json
+
+import pytest
+
+from repro.cassandra.cluster import Cluster, ClusterConfig, Mode
+from repro.cassandra.gossip import SYN, GossipConfig, Gossiper
+from repro.cassandra.gossip_columnar import ColumnarGossiper
+from repro.cassandra.metrics import FlapCounter
+from repro.cassandra.state import (
+    STATUS,
+    STATUS_LEAVING,
+    STATUS_LEFT,
+    STATUS_NORMAL,
+    TOKENS,
+)
+from repro.cassandra.state_columnar import SharedClusterState
+from repro.cassandra.workloads import ScenarioParams, run_workload
+from repro.sim.rng import SplittableRng
+
+BACKENDS = ["dict", "columnar"]
+
+#: Short scenario: long enough for decommission + conviction traffic,
+#: short enough that the 10-seed x 3-scale sweep stays in tier-1.
+FAST = ScenarioParams(warmup=2.0, observe=5.0, leaving_duration=2.0,
+                      join_duration=2.0, join_stagger=0.5)
+
+
+def _run(nodes: int, seed: int, state_backend: str):
+    config = ClusterConfig.for_bug("c3831", nodes=nodes, mode=Mode.REAL,
+                                   seed=seed, state_backend=state_backend)
+    cluster = Cluster(config)
+    report = run_workload(cluster, config.bug.workload, FAST)
+    return cluster, report
+
+
+def _canonical(report) -> str:
+    data = report.to_dict()
+    # Host wall time is the one legitimately nondeterministic field.
+    data.pop("wall_seconds", None)
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.mark.parametrize("nodes", [8, 32, 64])
+@pytest.mark.parametrize("seed", range(10))
+def test_backends_byte_identical(nodes, seed):
+    """Seeds 0..9, N in {8,32,64}: canonical RunReport JSON matches exactly."""
+    dict_cluster, dict_report = _run(nodes, seed, "dict")
+    col_cluster, col_report = _run(nodes, seed, "columnar")
+    assert _canonical(dict_report) == _canonical(col_report)
+    assert dict_cluster.sim.steps == col_cluster.sim.steps
+    assert (dict_cluster.network.delivery_log
+            == col_cluster.network.delivery_log)
+
+
+def test_unknown_backend_rejected():
+    config = ClusterConfig.for_bug("c3831", nodes=4, mode=Mode.REAL,
+                                   state_backend="sparse")
+    with pytest.raises(ValueError):
+        Cluster(config)
+
+
+# -- protocol-level parity, both backends -----------------------------------
+
+
+class Bus:
+    """Synchronous loopback fabric for protocol-level tests."""
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.shared = SharedClusterState() if backend == "columnar" else None
+        self.gossipers = {}
+        self.queue = []
+        self.clock = 0.0
+        self.flaps = FlapCounter()
+        self.status_changes = []
+
+    def now(self):
+        return self.clock
+
+    def add(self, node_id, seeds=(), generation=1, config=None):
+        kwargs = dict(
+            node_id=node_id,
+            generation=generation,
+            seeds=list(seeds),
+            rng=SplittableRng(1),
+            send=lambda dst, kind, payload, src=node_id: self.queue.append(
+                (src, dst, kind, payload)),
+            now=self.now,
+            flaps=self.flaps,
+            config=config or GossipConfig(),
+            on_status_change=lambda ep, status, state, me=node_id:
+                self.status_changes.append((me, ep, status)),
+        )
+        if self.backend == "columnar":
+            gossiper = ColumnarGossiper(shared=self.shared, **kwargs)
+        else:
+            gossiper = Gossiper(**kwargs)
+        self.gossipers[node_id] = gossiper
+        return gossiper
+
+    def pump(self, max_rounds=50):
+        """Deliver messages until quiescent."""
+        for __ in range(max_rounds):
+            if not self.queue:
+                return
+            src, dst, kind, payload = self.queue.pop(0)
+            if dst in self.gossipers:
+                self.gossipers[dst].handle_message(kind, payload, src)
+        raise AssertionError("bus did not quiesce")
+
+    def exchange(self, a, b):
+        """One full gossip exchange initiated by a towards b."""
+        digests = self.gossipers[a]._build_digests()
+        self.gossipers[b].handle_message(SYN, digests, a)
+        self.pump()
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def make_pair(backend):
+    bus = Bus(backend)
+    a = bus.add("a", seeds=["a"])
+    b = bus.add("b", seeds=["a"])
+    a.set_app_state(TOKENS, "", payload=(100,))
+    a.set_app_state(STATUS, STATUS_NORMAL)
+    b.set_app_state(TOKENS, "", payload=(200,))
+    b.set_app_state(STATUS, STATUS_NORMAL)
+    return bus, a, b
+
+
+def test_syn_ack_ack2_converges_two_nodes(backend):
+    bus, a, b = make_pair(backend)
+    bus.exchange("a", "b")
+    assert "a" in b.endpoint_state_map
+    assert "b" in a.endpoint_state_map
+    assert b.endpoint_state_map["a"].status() == STATUS_NORMAL
+    assert a.endpoint_state_map["b"].tokens() == (200,)
+
+
+def test_heartbeat_versions_propagate(backend):
+    bus, a, b = make_pair(backend)
+    bus.exchange("a", "b")
+    version_before = b.endpoint_state_map["a"].heartbeat.version
+    bus.clock = 1.0
+    a.do_round()
+    bus.pump()
+    bus.exchange("a", "b")
+    assert b.endpoint_state_map["a"].heartbeat.version > version_before
+
+
+def test_left_status_removes_from_liveness_tracking(backend):
+    bus, a, b = make_pair(backend)
+    bus.exchange("a", "b")
+    assert "a" in b.live_endpoints
+    a.set_app_state(STATUS, STATUS_LEFT)
+    bus.exchange("a", "b")
+    assert "a" not in b.live_endpoints
+    assert "a" not in b.unreachable_endpoints
+    assert "a" not in b.fd.known_endpoints()
+
+
+def test_restart_with_higher_generation_replaces_state(backend):
+    bus, a, b = make_pair(backend)
+    bus.exchange("a", "b")
+    old_generation = b.endpoint_state_map["a"].heartbeat.generation
+    bus.gossipers.pop("a")
+    a2 = bus.add("a", seeds=["a"], generation=old_generation + 1)
+    a2.set_app_state(TOKENS, "", payload=(100,))
+    a2.set_app_state(STATUS, STATUS_NORMAL)
+    bus.exchange("a", "b")
+    assert b.endpoint_state_map["a"].heartbeat.generation == old_generation + 1
+
+
+def test_stale_generation_ignored(backend):
+    bus, a, b = make_pair(backend)
+    bus.exchange("a", "b")
+    version = b.endpoint_state_map["a"].heartbeat.version
+    b._apply_state("a", (0, 999, ()))
+    assert b.endpoint_state_map["a"].heartbeat.version == version
+
+
+def test_conviction_and_recovery_counts_flap(backend):
+    bus, a, b = make_pair(backend)
+    bus.exchange("a", "b")
+    for t in range(1, 20):
+        bus.clock = float(t)
+        b.fd.report("a", bus.clock)
+    bus.clock = 100.0
+    convicted = b.check_convictions()
+    assert convicted == ["a"]
+    assert bus.flaps.total == 1
+    assert "a" in b.unreachable_endpoints
+    assert b.endpoint_state_map["a"].alive is False
+    a.do_round()
+    bus.queue.clear()
+    bus.exchange("a", "b")
+    assert "a" in b.live_endpoints
+    assert b.endpoint_state_map["a"].alive is True
+    assert bus.flaps.recoveries == 1
+
+
+def test_status_change_callback_fires_once_per_change(backend):
+    bus, a, b = make_pair(backend)
+    bus.exchange("a", "b")
+    changes_before = list(bus.status_changes)
+    a.set_app_state(STATUS, STATUS_LEAVING)
+    bus.exchange("a", "b")
+    new = [c for c in bus.status_changes if c not in changes_before]
+    assert ("b", "a", STATUS_LEAVING) in new
+    before = len(bus.status_changes)
+    bus.exchange("a", "b")
+    assert len(bus.status_changes) == before
+
+
+def test_status_notification_sees_tokens_from_same_blob(backend):
+    bus = Bus(backend)
+    a = bus.add("a", seeds=["a"])
+    b = bus.add("b", seeds=["a"])
+    bus.exchange("a", "b")
+    seen = []
+    b.on_status_change = lambda ep, status, state: seen.append(
+        (ep, status, state.tokens()))
+    a.set_app_state(TOKENS, "", payload=(123, 456))
+    a.set_app_state(STATUS, "BOOT")
+    bus.exchange("a", "b")
+    assert ("a", "BOOT", (123, 456)) in seen
+
+
+def test_blobs_and_digests_match_across_backends():
+    """Wire artifacts -- blobs, deltas, digest lists -- are identical."""
+    pairs = {name: make_pair(name) for name in BACKENDS}
+    for bus, a, b in pairs.values():
+        bus.exchange("a", "b")
+        bus.clock = 1.0
+        a.do_round()
+        bus.pump()
+    dict_a = pairs["dict"][1]
+    col_a = pairs["columnar"][1]
+    assert dict_a.own_state.to_blob() == col_a.own_state.to_blob()
+    assert dict_a.own_state.delta_blob(1) == col_a.own_state.delta_blob(1)
+    assert dict_a.own_state.max_version() == col_a.own_state.max_version()
+    assert list(dict_a._build_digests()) == list(col_a._build_digests())
+    assert dict_a.known_endpoints() == col_a.known_endpoints()
+    assert dict_a.stats() == col_a.stats()
+
+
+def test_columnar_failure_detector_matches_dict_arithmetic():
+    """phi / mean / window-slide arithmetic is bit-identical."""
+    from repro.cassandra.failure_detector import PhiAccrualFailureDetector
+    from repro.cassandra.state_columnar import ColumnarFailureDetector
+
+    reference = PhiAccrualFailureDetector(window_size=5,
+                                          expected_interval=1.0)
+    columnar = ColumnarFailureDetector(SharedClusterState(),
+                                       phi_threshold=8.0, window_size=5,
+                                       expected_interval=1.0)
+    times = [0.5, 1.0, 2.25, 3.0, 4.5, 5.0, 6.75, 7.0, 8.5, 9.0, 10.25]
+    for t in times:
+        reference.report("p", t)
+        columnar.report("p", t)
+        assert columnar.mean_interval("p") == reference.mean_interval("p")
+        assert columnar.phi("p", t + 3.3) == reference.phi("p", t + 3.3)
+        assert (columnar.should_convict("p", t + 40.0)
+                == reference.should_convict("p", t + 40.0))
+    assert columnar.stats == reference.stats
+    assert columnar.phis(11.0) == reference.phis(11.0)
+    assert columnar.known_endpoints() == reference.known_endpoints()
+    reference.forget("p")
+    columnar.forget("p")
+    assert columnar.known_endpoints() == reference.known_endpoints() == []
+    # Re-reporting after forget re-bootstraps identically.
+    reference.report("p", 20.0)
+    columnar.report("p", 20.0)
+    assert columnar.mean_interval("p") == reference.mean_interval("p")
+
+
+def test_columnar_interning_is_shared():
+    """Two observers of the same app states share one interned record."""
+    bus = Bus("columnar")
+    a = bus.add("a", seeds=["a"])
+    b = bus.add("b", seeds=["a"])
+    c = bus.add("c", seeds=["a"])
+    a.set_app_state(TOKENS, "", payload=(100,))
+    a.set_app_state(STATUS, STATUS_NORMAL)
+    bus.exchange("a", "b")
+    bus.exchange("a", "c")
+    gid = bus.shared.registry["a"]
+    assert b._store.app[gid] is c._store.app[gid]
+    assert (b._store.digest_cache[gid] is None
+            or b._store.digest_cache[gid] is c.endpoint_state_map["a"]
+            .digest("a"))
